@@ -1,0 +1,69 @@
+// Command boltbench regenerates every table and figure of the paper's
+// evaluation and prints them in paper-style form.
+//
+// Usage:
+//
+//	boltbench [-seed N] [-run id[,id...]] [-list]
+//
+// Without -run it executes all experiments in paper order. Experiment IDs
+// match the per-experiment index in DESIGN.md (table1, fig2, ... ablation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bolt/internal/exper"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "experiment seed (all results are deterministic per seed)")
+	run := flag.String("run", "", "comma-separated experiment IDs to run (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exper.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []exper.Experiment
+	if *run == "" {
+		selected = exper.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := exper.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "boltbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	start := time.Now()
+	for _, e := range selected {
+		t0 := time.Now()
+		rep := e.Run(*seed)
+		if *asJSON {
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "boltbench: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		rep.Render(os.Stdout)
+		fmt.Printf("[%s took %.1fs]\n\n", e.ID, time.Since(t0).Seconds())
+	}
+	if !*asJSON {
+		fmt.Printf("boltbench: %d experiment(s) in %.1fs (seed %d)\n",
+			len(selected), time.Since(start).Seconds(), *seed)
+	}
+}

@@ -1,0 +1,57 @@
+// Isolation-defence demo: the defender's view of §6.
+//
+// The same victim population runs under progressively stricter isolation —
+// thread pinning, network/memory-bandwidth partitioning, cache
+// partitioning, and finally core isolation — and Bolt attacks each
+// configuration. The demo prints detection accuracy next to what the
+// configuration costs (performance or utilisation), ending at the paper's
+// uncomfortable conclusion: the only setting that (mostly) blinds Bolt
+// sacrifices a third of performance or half the utilisation.
+//
+//	go run ./examples/isolation-defence
+package main
+
+import (
+	"fmt"
+
+	"bolt/internal/exper"
+	"bolt/internal/isolation"
+)
+
+func main() {
+	const seed = 17
+	fmt.Println("defending a container platform against Bolt (smaller-scale controlled run):")
+	fmt.Printf("%-28s  %9s  %12s  %s\n", "isolation configuration", "accuracy", "perf penalty", "utilisation cost")
+
+	labels := isolation.StackLabels()
+	for step, cfg := range isolation.Stack(isolation.Containers) {
+		res := exper.RunControlled(exper.ControlledConfig{
+			Seed:      seed,
+			Servers:   12,
+			Victims:   32,
+			ServerCfg: cfg.ServerConfig(8, 2),
+		})
+		perf := "-"
+		util := "-"
+		if p := cfg.PerfPenalty(); p > 1 {
+			perf = fmt.Sprintf("+%.0f%%", (p-1)*100)
+		}
+		if u := cfg.UtilizationPenalty(); u > 0 {
+			util = fmt.Sprintf("-%.0f%% (over-provisioned)", u*100)
+		}
+		fmt.Printf("%-28s  %8.0f%%  %12s  %s\n", labels[step], res.Accuracy(), perf, util)
+	}
+
+	coreOnly := exper.RunControlled(exper.ControlledConfig{
+		Seed:      seed,
+		Servers:   12,
+		Victims:   32,
+		ServerCfg: isolation.CoreIsolationOnly(isolation.Containers).ServerConfig(8, 2),
+	})
+	fmt.Printf("%-28s  %8.0f%%  %12s  %s\n",
+		"core isolation ALONE", coreOnly.Accuracy(), "+34%", "(uncore still leaks)")
+
+	fmt.Println("\nconclusion (§6): software partitioning helps but cannot finish the job;")
+	fmt.Println("only core isolation cuts deep, and it trades a 34% slowdown or a 45%")
+	fmt.Println("utilisation drop — the security/efficiency tension the paper closes on.")
+}

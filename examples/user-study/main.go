@@ -1,0 +1,97 @@
+// User-study demo: a miniature version of the §4 EC2 study.
+//
+// Five users submit 60 jobs of the 53 application types onto 20 instances.
+// Bolt holds a 4-vCPU VM on each instance and is never told what the users
+// launched. The demo prints, per job, whether Bolt labelled it, merely
+// characterised its resource profile, or missed it — and why the misses
+// concentrate on never-seen types and crowded instances.
+//
+//	go run ./examples/user-study
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"bolt/internal/cluster"
+	"bolt/internal/core"
+	"bolt/internal/probe"
+	"bolt/internal/sim"
+	"bolt/internal/stats"
+	"bolt/internal/study"
+	"bolt/internal/workload"
+)
+
+func main() {
+	rng := stats.NewRNG(31)
+	detector := core.Train(workload.TrainingSpecs(31), core.Config{})
+
+	s := study.Generate(study.Config{
+		Seed: 31, Users: 5, Jobs: 60, Instances: 20, Span: 40_000,
+	})
+	fmt.Printf("study: %d jobs from %d users over %d instances (%d of a trainable type)\n\n",
+		len(s.Jobs), s.Config.Users, s.Config.Instances, s.TrainableJobs())
+
+	cl := cluster.New(s.Config.Instances, sim.ServerConfig{Cores: 16, ThreadsPerCore: 2},
+		cluster.LeastLoaded{})
+	advs := map[string]*probe.Adversary{}
+	for _, srv := range cl.Servers {
+		adv := probe.NewAdversary("bolt-"+srv.Name(), 4, probe.Config{}, rng.Split())
+		if err := srv.Place(adv.VM); err != nil {
+			log.Fatal(err)
+		}
+		advs[srv.Name()] = adv
+	}
+
+	type placed struct {
+		job  study.Job
+		host *sim.Server
+	}
+	var jobs []placed
+	for i, j := range s.Jobs {
+		app := workload.NewApp(j.Spec, j.Pattern, rng.Uint64())
+		app.Start = j.Start
+		vm := &sim.VM{ID: fmt.Sprintf("job-%02d", i), VCPUs: j.VCPUs, App: app}
+		host, err := cl.Place(vm, j.Start)
+		if err != nil {
+			continue
+		}
+		jobs = append(jobs, placed{j, host})
+	}
+	sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].job.Start < jobs[b].job.Start })
+
+	labelled, characterised := 0, 0
+	for _, p := range jobs {
+		mid := p.job.Start + p.job.Duration/2
+		det := detector.Detect(p.host, advs[p.host.Name()], mid, 3)
+
+		status := "missed"
+		for _, cand := range det.CoResidents {
+			if core.LabelMatches(cand.Best().Label, p.job.Spec.Label) ||
+				(p.job.Type.Trainable && core.ClassMatches(cand.Best().Label, p.job.Spec.Class)) {
+				status = "LABELLED"
+				break
+			}
+			if core.CharacteristicsMatch(cand.Pressure, p.job.Spec.Base) {
+				status = "characterised"
+			}
+		}
+		switch status {
+		case "LABELLED":
+			labelled++
+			characterised++
+		case "characterised":
+			characterised++
+		}
+		trainTag := " "
+		if !p.job.Type.Trainable {
+			trainTag = "*" // type absent from Bolt's training set
+		}
+		fmt.Printf("user %d  %-22s%s on %-9s -> %s\n",
+			p.job.User+1, p.job.Spec.Label, trainTag, p.host.Name(), status)
+	}
+
+	fmt.Printf("\nlabelled %d/%d, characterised %d/%d  (* = type never seen in training: can be characterised, never labelled)\n",
+		labelled, len(jobs), characterised, len(jobs))
+}

@@ -1,0 +1,118 @@
+// Package attack implements the three attacks §5 of the paper builds on
+// Bolt's detection output: the internal (host-based) denial-of-service
+// attack with custom contention kernels (§5.1), the resource-freeing
+// attack with a helper and a beneficiary (§5.2), and the VM co-residency
+// detection attack with a sender/receiver pair (§5.3).
+package attack
+
+import (
+	"bolt/internal/core"
+	"bolt/internal/probe"
+	"bolt/internal/sim"
+	"bolt/internal/stats"
+)
+
+// DoSPlan is a set of contention-kernel intensities targeting a victim's
+// critical resources.
+type DoSPlan struct {
+	Intensity sim.Vector
+	// Targets lists the resources the plan attacks, strongest first.
+	Targets []sim.Resource
+}
+
+// headroom is how far above the victim's measured pressure the attack
+// kernels are configured — "a higher point than their measured pressure
+// c_i during detection" (§5.1) — so the combined demand saturates the
+// resource.
+const headroom = 25
+
+// PlanDoS turns a detection into an attack plan: the victim's nCritical
+// most-pressured resources (from the completed profile) are each targeted
+// at an intensity exceeding the victim's own pressure. The CPU kernel is
+// never used: host-based DoS defences watch CPU utilisation, and the
+// paper's central point (§5.1) is that Bolt stays resilient to them by
+// keeping compute usage low and hurting the victim elsewhere.
+func PlanDoS(det core.Detection, nCritical int) DoSPlan {
+	if nCritical <= 0 {
+		nCritical = 2
+	}
+	pressure := sim.FromSlice(det.Result.Pressure)
+	var plan DoSPlan
+	for _, r := range pressure.TopK(sim.NumResources) {
+		if r == sim.CPU {
+			continue // evade utilisation-triggered defences
+		}
+		if r.IsCore() && !det.CoreShared {
+			// Core-private contention only reaches hyperthread siblings;
+			// without a shared core these kernels would hit nothing.
+			continue
+		}
+		want := pressure.Get(r) + headroom
+		if want > 95 {
+			want = 95
+		}
+		plan.Intensity.Set(r, want)
+		plan.Targets = append(plan.Targets, r)
+		if len(plan.Targets) == nCritical {
+			break
+		}
+	}
+	return plan
+}
+
+// NaiveDoSPlan is the baseline attack Fig. 13 compares against: saturate
+// the host's CPU with a compute-intensive kernel, which degrades the
+// victim but trips utilisation-triggered defences.
+func NaiveDoSPlan() DoSPlan {
+	var plan DoSPlan
+	plan.Intensity.Set(sim.CPU, 95)
+	plan.Targets = []sim.Resource{sim.CPU}
+	return plan
+}
+
+// Launch applies the plan to the adversary's kernels (replacing whatever
+// they were doing).
+func Launch(adv *probe.Adversary, plan DoSPlan) {
+	adv.Kernels.Reset()
+	for _, r := range sim.AllResources() {
+		if v := plan.Intensity.Get(r); v > 0 {
+			adv.Kernels.Set(r, v)
+		}
+	}
+}
+
+// Stop idles the adversary's kernels.
+func Stop(adv *probe.Adversary) { adv.Kernels.Reset() }
+
+// AdversaryCPU returns the CPU utilisation the plan itself contributes —
+// the quantity a migration defence watches. Bolt's targeted plans keep
+// this low unless the victim is CPU-bound.
+func (p DoSPlan) AdversaryCPU() float64 { return p.Intensity.Get(sim.CPU) }
+
+// PlacementProbability returns P(f) = 1 − (1 − k/N)^n: the probability at
+// least one of n simultaneously launched adversarial VMs lands on a host
+// with one of the victim's k instances in an N-server cluster (§5.3).
+func PlacementProbability(servers, victimVMs, adversaryVMs int) float64 {
+	if servers <= 0 || victimVMs <= 0 || adversaryVMs <= 0 {
+		return 0
+	}
+	k := float64(victimVMs) / float64(servers)
+	if k >= 1 {
+		return 1
+	}
+	p := 1.0
+	for i := 0; i < adversaryVMs; i++ {
+		p *= 1 - k
+	}
+	return 1 - p
+}
+
+// RandomHosts picks n distinct host indices from [0, total) — the
+// simultaneous-launch placement of the co-residency attack.
+func RandomHosts(rng *stats.RNG, total, n int) []int {
+	if n > total {
+		n = total
+	}
+	perm := rng.Perm(total)
+	return perm[:n]
+}

@@ -1,0 +1,121 @@
+package attack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bolt/internal/core"
+	"bolt/internal/mining"
+	"bolt/internal/sim"
+)
+
+// detectionWith builds a synthetic Detection carrying the given completed
+// pressure vector and core-sharing flag.
+func detectionWith(pressure sim.Vector, coreShared bool) core.Detection {
+	return core.Detection{
+		Result: &mining.Result{
+			Pressure: pressure.Slice(),
+			Matches:  []mining.Match{{Label: "x", Class: "x", Similarity: 0.9}},
+		},
+		CoreShared: coreShared,
+	}
+}
+
+func TestPlanDoSNeverUsesCPU(t *testing.T) {
+	// Even for a victim whose single most critical resource is the CPU,
+	// the plan must avoid the CPU kernel (utilisation-triggered defences).
+	var p sim.Vector
+	p.Set(sim.CPU, 95)
+	p.Set(sim.LLC, 60)
+	p.Set(sim.MemBW, 50)
+	plan := PlanDoS(detectionWith(p, true), 2)
+	if plan.Intensity.Get(sim.CPU) != 0 {
+		t.Fatal("DoS plan must never run the CPU kernel")
+	}
+	if plan.AdversaryCPU() != 0 {
+		t.Fatal("AdversaryCPU must be zero for a CPU-free plan")
+	}
+	if len(plan.Targets) != 2 {
+		t.Fatalf("plan should fall through to the next criticals, got %v", plan.Targets)
+	}
+}
+
+func TestPlanDoSSkipsUnreachableCore(t *testing.T) {
+	var p sim.Vector
+	p.Set(sim.L1I, 90)
+	p.Set(sim.L1D, 80)
+	p.Set(sim.LLC, 70)
+	p.Set(sim.NetBW, 60)
+
+	// Without a shared core the plan must drop to uncore targets.
+	plan := PlanDoS(detectionWith(p, false), 2)
+	for _, r := range plan.Targets {
+		if r.IsCore() {
+			t.Fatalf("unreachable core resource %v in plan", r)
+		}
+	}
+	if plan.Targets[0] != sim.LLC || plan.Targets[1] != sim.NetBW {
+		t.Fatalf("targets = %v, want [LLC NetBW]", plan.Targets)
+	}
+
+	// With a shared core the cache targets become reachable.
+	plan = PlanDoS(detectionWith(p, true), 2)
+	if plan.Targets[0] != sim.L1I {
+		t.Fatalf("shared-core plan should target L1-i first, got %v", plan.Targets)
+	}
+}
+
+func TestPlanDoSIntensityAboveVictim(t *testing.T) {
+	var p sim.Vector
+	p.Set(sim.LLC, 60)
+	p.Set(sim.MemBW, 40)
+	plan := PlanDoS(detectionWith(p, false), 2)
+	for _, r := range plan.Targets {
+		if plan.Intensity.Get(r) <= p.Get(r) {
+			t.Fatalf("intensity on %v (%v) must exceed the victim's pressure (%v)",
+				r, plan.Intensity.Get(r), p.Get(r))
+		}
+	}
+}
+
+func TestPlanDoSProperties(t *testing.T) {
+	f := func(seed int64, coreShared bool) bool {
+		var p sim.Vector
+		x := uint64(seed)
+		for i := range p {
+			x = x*6364136223846793005 + 1442695040888963407
+			p[i] = float64(x % 101)
+		}
+		plan := PlanDoS(detectionWith(p, coreShared), 3)
+		if len(plan.Targets) > 3 {
+			return false
+		}
+		for _, r := range plan.Targets {
+			v := plan.Intensity.Get(r)
+			if v <= 0 || v > 95 {
+				return false
+			}
+			if r == sim.CPU {
+				return false
+			}
+			if r.IsCore() && !coreShared {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanDoSDefaultCriticals(t *testing.T) {
+	var p sim.Vector
+	p.Set(sim.LLC, 80)
+	p.Set(sim.MemBW, 70)
+	p.Set(sim.NetBW, 60)
+	plan := PlanDoS(detectionWith(p, false), 0) // 0 → default 2
+	if len(plan.Targets) != 2 {
+		t.Fatalf("default nCritical should be 2, got %d", len(plan.Targets))
+	}
+}

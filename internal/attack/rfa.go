@@ -1,0 +1,100 @@
+package attack
+
+import (
+	"bolt/internal/latency"
+	"bolt/internal/probe"
+	"bolt/internal/sim"
+)
+
+// RFA is a resource-freeing attack (§5.2): the helper saturates the
+// victim's dominant resource so the victim stalls and stops pressuring
+// everything else, and the beneficiary — whose critical resource must not
+// overlap the victim's — reclaims the freed capacity.
+type RFA struct {
+	// Helper is the adversary VM running the saturating kernel.
+	Helper *probe.Adversary
+	// Target is the resource the helper saturates (the victim's dominant
+	// resource, obtained from Bolt's detection).
+	Target sim.Resource
+	// Intensity is the helper's kernel intensity; 0 means 95.
+	Intensity float64
+}
+
+// Start turns the helper on.
+func (r *RFA) Start() {
+	intensity := r.Intensity
+	if intensity == 0 {
+		intensity = 95
+	}
+	r.Helper.Kernels.Reset()
+	r.Helper.Kernels.Set(r.Target, intensity)
+}
+
+// Stop turns the helper off.
+func (r *RFA) Stop() { r.Helper.Kernels.Reset() }
+
+// RFAOutcome quantifies one resource-freeing attack run.
+type RFAOutcome struct {
+	Target sim.Resource
+	// VictimDegradation is the victim's relative performance loss in
+	// percent (QPS for services, execution time for batch jobs).
+	VictimDegradation float64
+	// BeneficiaryImprovement is the beneficiary's execution-time gain in
+	// percent.
+	BeneficiaryImprovement float64
+	// VictimMetric names what VictimDegradation measures.
+	VictimMetric string
+}
+
+// MeasureServiceRFA runs the attack against an interactive victim: it
+// compares the victim's throughput and the beneficiary's execution time
+// with the helper off and on.
+func MeasureServiceRFA(r *RFA, host *sim.Server, victim *latency.Service,
+	beneficiary *latency.BatchJob, start sim.Tick) RFAOutcome {
+	r.Stop()
+	baseQPS := victim.Measure(host, start).QPS
+	baseTicks, _ := beneficiary.Run(host, start, 0)
+
+	r.Start()
+	atkQPS := victim.Measure(host, start).QPS
+	atkTicks, _ := beneficiary.Run(host, start, 0)
+	r.Stop()
+
+	return RFAOutcome{
+		Target:                 r.Target,
+		VictimDegradation:      pctLoss(baseQPS, atkQPS),
+		BeneficiaryImprovement: pctLoss(float64(baseTicks), float64(atkTicks)),
+		VictimMetric:           "QPS",
+	}
+}
+
+// MeasureBatchRFA runs the attack against a batch victim: both victim and
+// beneficiary are measured by execution time.
+func MeasureBatchRFA(r *RFA, host *sim.Server, victim, beneficiary *latency.BatchJob,
+	start sim.Tick) RFAOutcome {
+	r.Stop()
+	baseVictim, _ := victim.Run(host, start, 0)
+	baseBen, _ := beneficiary.Run(host, start, 0)
+
+	r.Start()
+	atkVictim, _ := victim.Run(host, start, 0)
+	atkBen, _ := beneficiary.Run(host, start, 0)
+	r.Stop()
+
+	return RFAOutcome{
+		Target: r.Target,
+		// For execution time a positive degradation means the victim got
+		// slower.
+		VictimDegradation:      pctLoss(float64(atkVictim), float64(baseVictim)),
+		BeneficiaryImprovement: pctLoss(float64(baseBen), float64(atkBen)),
+		VictimMetric:           "exec time",
+	}
+}
+
+// pctLoss returns how much smaller b is than a, in percent of a.
+func pctLoss(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return 100 * (a - b) / a
+}

@@ -1,0 +1,227 @@
+// Package cluster implements the cluster-management substrate of the
+// evaluation: a fleet of simulated servers, the least-loaded scheduler the
+// paper uses by default, a Quasar-like interference-aware scheduler
+// (§3.4), and the utilisation-triggered live-migration defence of §5.1.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"bolt/internal/sim"
+	"bolt/internal/workload"
+)
+
+// Scheduler picks a server for a VM.
+type Scheduler interface {
+	// Pick returns the index of the server to place the VM on, or -1 when
+	// no server fits.
+	Pick(servers []*sim.Server, vm *sim.VM, t sim.Tick) int
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// Cluster is a fleet of servers under one scheduler.
+type Cluster struct {
+	Servers []*sim.Server
+	Sched   Scheduler
+	// Migrations counts live migrations performed.
+	Migrations int
+}
+
+// ErrClusterFull is returned when no server can host a VM.
+var ErrClusterFull = errors.New("cluster: no server with sufficient capacity")
+
+// New builds a cluster of n identical servers.
+func New(n int, cfg sim.ServerConfig, sched Scheduler) *Cluster {
+	c := &Cluster{Sched: sched}
+	for i := 0; i < n; i++ {
+		c.Servers = append(c.Servers, sim.NewServer(fmt.Sprintf("server-%02d", i), cfg))
+	}
+	return c
+}
+
+// Place schedules the VM and returns the hosting server.
+func (c *Cluster) Place(vm *sim.VM, t sim.Tick) (*sim.Server, error) {
+	i := c.Sched.Pick(c.Servers, vm, t)
+	if i < 0 {
+		return nil, ErrClusterFull
+	}
+	if err := c.Servers[i].Place(vm); err != nil {
+		return nil, err
+	}
+	return c.Servers[i], nil
+}
+
+// HostOf returns the server hosting the VM with the given ID, or nil.
+func (c *Cluster) HostOf(id string) *sim.Server {
+	for _, s := range c.Servers {
+		if s.Lookup(id) != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// Migrate moves a VM to the least-loaded other server (the DoS defence of
+// §5.1: utilisation-triggered live migration). It returns the destination,
+// or an error when the VM is unknown or nothing else fits.
+func (c *Cluster) Migrate(id string, t sim.Tick) (*sim.Server, error) {
+	src := c.HostOf(id)
+	if src == nil {
+		return nil, fmt.Errorf("cluster: unknown VM %q", id)
+	}
+	vm := src.Lookup(id)
+
+	best, bestFree := -1, -1
+	for i, s := range c.Servers {
+		if s == src {
+			continue
+		}
+		if free := s.FreeVCPUs(); free >= vm.VCPUs && free > bestFree {
+			best, bestFree = i, free
+		}
+	}
+	if best < 0 {
+		return nil, ErrClusterFull
+	}
+	src.Remove(id)
+	if err := c.Servers[best].Place(vm); err != nil {
+		// Roll back so the VM is not lost.
+		if rbErr := src.Place(vm); rbErr != nil {
+			return nil, fmt.Errorf("cluster: migration failed (%v) and rollback failed (%v)", err, rbErr)
+		}
+		return nil, err
+	}
+	c.Migrations++
+	return c.Servers[best], nil
+}
+
+// MeanUtilization returns the average CPU utilisation across servers.
+func (c *Cluster) MeanUtilization(t sim.Tick) float64 {
+	if len(c.Servers) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, s := range c.Servers {
+		total += s.CPUUtilization(t)
+	}
+	return total / float64(len(c.Servers))
+}
+
+// VCPUUtilization returns the fraction of hyperthreads allocated, across
+// the cluster, in percent — the provisioning-level utilisation §6 trades
+// against security.
+func (c *Cluster) VCPUUtilization() float64 {
+	total, used := 0, 0
+	for _, s := range c.Servers {
+		total += s.TotalVCPUs()
+		used += s.TotalVCPUs() - s.FreeVCPUs()
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(used) / float64(total)
+}
+
+// LeastLoaded is the paper's default scheduler: it places each VM on the
+// machine with the most available compute (free hyperthreads), breaking
+// ties by index. It is contention-oblivious.
+type LeastLoaded struct{}
+
+// Name implements Scheduler.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Scheduler.
+func (LeastLoaded) Pick(servers []*sim.Server, vm *sim.VM, _ sim.Tick) int {
+	best, bestFree := -1, 0
+	for i, s := range servers {
+		if free := s.FreeVCPUs(); free >= vm.VCPUs && free > bestFree {
+			best, bestFree = i, free
+		}
+	}
+	return best
+}
+
+// Quasar is an interference-aware scheduler in the spirit of Quasar
+// (Delimitrou & Kozyrakis, ASPLOS'14): it estimates each candidate host's
+// contention overlap with the incoming application's critical resources
+// and picks the feasible host where the overlap is smallest, so jobs with
+// different critical resources end up co-scheduled.
+type Quasar struct{}
+
+// Name implements Scheduler.
+func (Quasar) Name() string { return "quasar" }
+
+// Pick implements Scheduler.
+func (Quasar) Pick(servers []*sim.Server, vm *sim.VM, t sim.Tick) int {
+	type cand struct {
+		idx     int
+		overlap float64
+		free    int
+	}
+	demand := vm.App.Demand(t)
+	var cands []cand
+	for i, s := range servers {
+		if s.FreeVCPUs() < vm.VCPUs {
+			continue
+		}
+		// Aggregate resource pressure already on the host.
+		var host sim.Vector
+		for _, other := range s.VMs() {
+			host = host.Add(other.App.Demand(t))
+		}
+		overlap := 0.0
+		for _, r := range sim.AllResources() {
+			overlap += demand.Get(r) * host.Get(r)
+		}
+		cands = append(cands, cand{i, overlap, s.FreeVCPUs()})
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].overlap != cands[b].overlap {
+			return cands[a].overlap < cands[b].overlap
+		}
+		if cands[a].free != cands[b].free {
+			return cands[a].free > cands[b].free
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	return cands[0].idx
+}
+
+// MigrationPolicy is the DoS defence: when a host's CPU utilisation
+// exceeds Threshold, its most CPU-hungry victim VM is migrated to an
+// unloaded host, with an outage of OutageTicks (the paper measures ~8 s).
+type MigrationPolicy struct {
+	Threshold   float64  // percent CPU; paper uses 70
+	OutageTicks sim.Tick // migration blackout; paper observes 8 s
+}
+
+// DefaultMigrationPolicy mirrors the experimental setup of §5.1.
+func DefaultMigrationPolicy() MigrationPolicy {
+	return MigrationPolicy{Threshold: 70, OutageTicks: 8 * sim.TicksPerSecond}
+}
+
+// ShouldMigrate reports whether the host's utilisation at time t trips the
+// policy.
+func (p MigrationPolicy) ShouldMigrate(s *sim.Server, t sim.Tick) bool {
+	return s.CPUUtilization(t) > p.Threshold
+}
+
+// VMSpec couples an application spec with a size, for driving cluster
+// experiments.
+type VMSpec struct {
+	ID    string
+	VCPUs int
+	Spec  workload.Spec
+	App   sim.Demander
+}
+
+// NewVM materialises the VMSpec into a placeable VM.
+func (v VMSpec) NewVM() *sim.VM {
+	return &sim.VM{ID: v.ID, VCPUs: v.VCPUs, App: v.App}
+}

@@ -1,0 +1,222 @@
+// Package core implements Bolt itself: the detector that combines the
+// measurement layer (internal/probe) with the data-mining pipeline
+// (internal/mining) to identify the type and characteristics of the
+// applications sharing a host with the adversary (§3.2-3.3), including
+// iterative re-profiling, the multi-co-resident disentangling paths, and
+// the label/characteristics scoring rules used in the paper's evaluation.
+package core
+
+import (
+	"strings"
+
+	"bolt/internal/mining"
+	"bolt/internal/probe"
+	"bolt/internal/sim"
+	"bolt/internal/workload"
+)
+
+// Config tunes a Detector.
+type Config struct {
+	Recommender mining.RecommenderConfig
+	// MaxIterations bounds one detection episode; the paper finds no
+	// benefit past six (Fig. 7). 0 means 6.
+	MaxIterations int
+	// ExtraBench adds uncore benchmarks to every profiling iteration
+	// (Fig. 10c sweeps this). 0 means none beyond the §3.2 default.
+	ExtraBench int
+	// ShutterSamples is the number of brief samples per shutter window
+	// (§3.3). 0 means 20.
+	ShutterSamples int
+	// DisableShutter turns shutter profiling off (ablation).
+	DisableShutter bool
+	// DisableMRC turns the miss-ratio-curve probe off (ablation; the §3.3
+	// future-work signal for constant-load mixtures).
+	DisableMRC bool
+	// StopSimilarity is the best-match similarity at which Detect stops
+	// re-profiling. It is deliberately far above the 0.1 confidence floor:
+	// the floor distinguishes "seen before" from "mixture/unseen", while
+	// stopping early on a weak match wastes the remaining iterations'
+	// sharpening. 0 means 0.75.
+	StopSimilarity float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 6
+	}
+	if c.ShutterSamples == 0 {
+		c.ShutterSamples = 20
+	}
+	if c.StopSimilarity == 0 {
+		c.StopSimilarity = 0.75
+	}
+	return c
+}
+
+// Detector is a trained Bolt instance: the hybrid recommender plus the
+// profiling policy. One Detector serves any number of adversary VMs.
+type Detector struct {
+	Rec *mining.Recommender
+	cfg Config
+	// byLabel maps a training label to a representative dense profile,
+	// used to peel a matched co-resident's pressure out of a mixture.
+	byLabel map[string]sim.Vector
+}
+
+// Train builds a detector from the training workload specs (the paper's
+// 120-application training set).
+func Train(specs []workload.Spec, cfg Config) *Detector {
+	cfg = cfg.withDefaults()
+	profiles := make([]mining.LabeledProfile, len(specs))
+	byLabel := make(map[string]sim.Vector, len(specs))
+	for i, s := range specs {
+		profiles[i] = mining.LabeledProfile{
+			Label:    s.Label,
+			Class:    s.Class,
+			Pressure: s.Base.Slice(),
+		}
+		if _, ok := byLabel[s.Label]; !ok {
+			byLabel[s.Label] = s.Base
+		}
+	}
+	return &Detector{
+		Rec:     mining.NewRecommender(profiles, cfg.Recommender),
+		cfg:     cfg,
+		byLabel: byLabel,
+	}
+}
+
+// TrainingProfile returns the representative dense pressure vector for a
+// training label, and whether the label exists.
+func (d *Detector) TrainingProfile(label string) (sim.Vector, bool) {
+	v, ok := d.byLabel[label]
+	return v, ok
+}
+
+// Detection is the outcome of one detection episode against one host.
+type Detection struct {
+	// Result is the recommender output for the primary (strongest) signal.
+	Result *mining.Result
+	// CoResidents holds one entry per co-resident Bolt believes it
+	// disentangled, strongest first. Entry 0 mirrors Result.
+	CoResidents []*mining.Result
+	// Iterations is how many profiling+mining rounds the episode used.
+	Iterations int
+	// Ticks is the total simulated time the episode consumed.
+	Ticks sim.Tick
+	// UsedShutter reports whether shutter profiling ran.
+	UsedShutter bool
+	// CoreShared reports whether any victim shared a core with Bolt.
+	CoreShared bool
+}
+
+// Labels returns the best-match label of each disentangled co-resident.
+func (det *Detection) Labels() []string {
+	out := make([]string, 0, len(det.CoResidents))
+	for _, r := range det.CoResidents {
+		out = append(out, r.Best().Label)
+	}
+	return out
+}
+
+// Detect runs a full episode: up to MaxIterations steps, stopping early
+// when the single-victim hypothesis is strong, then disentangles up to
+// maxVictims co-residents.
+func (d *Detector) Detect(s *sim.Server, adv *probe.Adversary, start sim.Tick, maxVictims int) Detection {
+	e := d.NewEpisode(s, adv)
+	var res *mining.Result
+	for i := 0; i < d.cfg.MaxIterations; i++ {
+		res = e.Step(start)
+		if res.Best().Similarity >= d.cfg.StopSimilarity {
+			break
+		}
+	}
+	det := Detection{
+		Result:      res,
+		Iterations:  e.Iterations,
+		Ticks:       e.Ticks,
+		UsedShutter: e.UsedShutter,
+		CoreShared:  e.CoreShared,
+	}
+	// Result keeps the single-victim hypothesis with its full similarity
+	// distribution; CoResidents carries the mixture decomposition.
+	det.CoResidents = e.Candidates(maxVictims)
+	return det
+}
+
+// LabelMatches implements the paper's correctness rule for application
+// labels (§3.4): a detection is correct when it identifies the framework or
+// service (e.g. Hadoop, memcached) AND either the algorithm (e.g. SVM on
+// Hadoop) or the user-load characteristics (e.g. read- vs write-heavy).
+// Labels here have the form class[:algorithm-or-mix[:params]].
+//
+// Per-class interpretation of the second token:
+//   - analytics frameworks, SPEC, webservers, databases: it names the
+//     algorithm or load mix and must match exactly;
+//   - memcached: it encodes the read ratio; matching means agreeing on
+//     read-mostly vs write-heavy, the characteristic the paper checks;
+//   - classes whose variants are arbitrary instance ids (redis, storm,
+//     graphx): identifying the service is the whole label.
+func LabelMatches(detected, truth string) bool {
+	if detected == "" || truth == "" {
+		return false
+	}
+	dp := strings.SplitN(detected, ":", 3)
+	tp := strings.SplitN(truth, ":", 3)
+	if dp[0] != tp[0] {
+		return false
+	}
+	switch dp[0] {
+	case "redis", "storm", "graphx":
+		return true
+	case "memcached":
+		if len(dp) < 2 || len(tp) < 2 {
+			return false
+		}
+		return readMostly(dp[1]) == readMostly(tp[1])
+	}
+	if len(dp) > 1 && len(tp) > 1 {
+		return dp[1] == tp[1]
+	}
+	return len(dp) == len(tp) // both class-only labels
+}
+
+// readMostly classifies a memcached rdNN token as read-mostly (≥70% reads).
+func readMostly(tok string) bool {
+	n := 0
+	for _, c := range strings.TrimPrefix(tok, "rd") {
+		if c < '0' || c > '9' {
+			return false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n >= 70
+}
+
+// ClassMatches reports whether the detected label's class matches the
+// truth class.
+func ClassMatches(detected, truthClass string) bool {
+	if detected == "" {
+		return false
+	}
+	return strings.SplitN(detected, ":", 2)[0] == truthClass
+}
+
+// CharacteristicsMatch implements the paper's weaker correctness rule
+// (Fig. 12b): even without a label, Bolt may correctly identify the
+// resources a job is sensitive to. It holds when the detected pressure
+// vector's dominant resource matches the truth's, or the truth's dominant
+// resource appears in the detected top two.
+func CharacteristicsMatch(detected []float64, truth sim.Vector) bool {
+	if len(detected) != sim.NumResources {
+		return false
+	}
+	dv := sim.FromSlice(detected)
+	truthDom := truth.Dominant()
+	for _, r := range dv.TopK(2) {
+		if r == truthDom {
+			return true
+		}
+	}
+	return false
+}

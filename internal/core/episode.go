@@ -1,0 +1,634 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"bolt/internal/mining"
+	"bolt/internal/probe"
+	"bolt/internal/sim"
+)
+
+// Thin wrappers keep the decomposition code readable.
+func mathSqrt(x float64) float64   { return math.Sqrt(x) }
+func mathInf() float64             { return math.Inf(1) }
+func mathExpNeg(x float64) float64 { return math.Exp(-x) }
+
+// indexScore is an index/score pair used by the decomposition search.
+type indexScore struct {
+	i int
+	s float64
+}
+
+// sortEntries orders index/score pairs by ascending score (stable on ties
+// by index for determinism).
+func sortEntries(entries []indexScore) {
+	sort.SliceStable(entries, func(a, b int) bool {
+		if entries[a].s != entries[b].s {
+			return entries[a].s < entries[b].s
+		}
+		return entries[a].i < entries[b].i
+	})
+}
+
+// sortByAnchor orders a component set so the best core-anchored one leads.
+func sortByAnchor(idxs []int, coreErr func(int) float64) {
+	sort.SliceStable(idxs, func(a, b int) bool {
+		return coreErr(idxs[a]) < coreErr(idxs[b])
+	})
+}
+
+// signal is one accumulated observation stream: running-mean values plus a
+// known mask. Repeated measurements of the same resource are averaged, so
+// each extra iteration reduces the measurement variance instead of just
+// replacing one noisy reading with another.
+type signal struct {
+	obs    sim.Vector
+	known  [sim.NumResources]bool
+	counts [sim.NumResources]int
+}
+
+// fold averages a new measurement into the stream.
+func (g *signal) fold(r sim.Resource, v float64) {
+	n := float64(g.counts[r])
+	g.obs.Set(r, (g.obs.Get(r)*n+v)/(n+1))
+	g.counts[r]++
+	g.known[r] = true
+}
+
+// sparse returns the (observed, known) pair the recommender consumes.
+func (g *signal) sparse() ([]float64, []bool) {
+	return g.obs.Slice(), append([]bool(nil), g.known[:]...)
+}
+
+// knownCount returns how many resources carry a measurement.
+func (g *signal) knownCount() int {
+	n := 0
+	for _, k := range g.known {
+		if k {
+			n++
+		}
+	}
+	return n
+}
+
+// Episode is an in-progress detection against one host. It keeps the two
+// §3.3 signals separate:
+//
+//   - the core signal comes only from the hyperthread sibling of the
+//     adversary's cores — it belongs to (at most) a single co-resident and
+//     is the most reliable handle on a mixture;
+//   - the uncore signal is the host-wide mixture of every co-resident.
+//
+// Shutter profiling adds a third stream: per-resource minima over brief
+// samples, approximating the mixture during some co-resident's quietest
+// phase.
+//
+// Create one with NewEpisode and call Step until satisfied (the controlled
+// experiment stops on correct identification; a real adversary stops on
+// confidence), then Candidates to disentangle co-residents.
+type Episode struct {
+	det *Detector
+	s   *sim.Server
+	adv *probe.Adversary
+
+	core    signal
+	uncore  signal
+	shutter signal // minima; known only after a shutter pass
+	// sigs holds the per-core sibling signatures from the latest
+	// CoreSignatures pass: one 4-entry core-pressure vector per distinct
+	// co-resident sharing a core with the adversary.
+	sigs []sim.Vector
+	// mrcSlope is the measured cache-spill response of the mixture (extra
+	// observed MemBW pressure per unit of the adversary's own LLC
+	// intensity); negative means not yet measured.
+	mrcSlope float64
+
+	Iterations  int
+	Ticks       sim.Tick
+	UsedShutter bool
+	CoreShared  bool
+}
+
+// NewEpisode starts a detection episode for the adversary on server s.
+func (d *Detector) NewEpisode(s *sim.Server, adv *probe.Adversary) *Episode {
+	return &Episode{det: d, s: s, adv: adv, mrcSlope: -1}
+}
+
+// merge folds a profile's measurements into the per-stream observations.
+func (e *Episode) merge(p probe.Profile) {
+	for _, r := range p.Resources {
+		if !p.Known[r] {
+			continue
+		}
+		if r.IsCore() {
+			e.core.fold(r, p.Observed.Get(r))
+		} else {
+			e.uncore.fold(r, p.Observed.Get(r))
+		}
+	}
+	e.Ticks += p.Ticks
+	if p.CoreShared {
+		e.CoreShared = true
+	}
+}
+
+// combined returns the single-victim-hypothesis observation: core and
+// uncore streams merged (the core signal is genuinely the victim's when
+// only one co-resident exists).
+func (e *Episode) combined() ([]float64, []bool) {
+	var merged signal
+	for _, r := range sim.AllResources() {
+		if r.IsCore() {
+			if e.core.known[r] {
+				merged.fold(r, e.core.obs.Get(r))
+			}
+		} else if e.uncore.known[r] {
+			merged.fold(r, e.uncore.obs.Get(r))
+		}
+	}
+	return merged.sparse()
+}
+
+// Step runs one profiling iteration starting at the given tick and returns
+// the recommender's current single-victim view. When that view is weak the
+// iteration escalates per §3.3: full core profiling when a core is shared,
+// shutter profiling otherwise.
+func (e *Episode) Step(start sim.Tick) *mining.Result {
+	e.Iterations++
+	p := e.adv.ProfileOnce(e.s, start+e.Ticks, e.det.cfg.ExtraBench)
+	e.merge(p)
+
+	obs, known := e.combined()
+	res := e.det.Rec.Detect(obs, known)
+	if res.Best().Similarity >= e.det.cfg.StopSimilarity {
+		return res
+	}
+
+	// Escalation (§3.3): a weak match means an unseen type or a mixture.
+	// The ladder prioritises the most informative missing measurement:
+	// finish the sibling's core profile, then complete the uncore mixture,
+	// then hunt for quiet phases with the shutter.
+	refreshSigs := func() {
+		sigs, used := e.adv.CoreSignatures(e.s, start+e.Ticks)
+		e.Ticks += used
+		// Merging with the previous pass averages matching signatures,
+		// shaving measurement noise iteration over iteration.
+		e.sigs = probe.MergeSignatures(e.sigs, sigs)
+		// A single signature is the lone sibling's core profile; fold it
+		// into the single-victim view.
+		if len(e.sigs) == 1 {
+			for _, r := range sim.CoreResources() {
+				e.core.fold(r, e.sigs[0].Get(r))
+			}
+		}
+	}
+	switch {
+	case e.CoreShared && e.sigs == nil:
+		refreshSigs()
+	case e.missingUncore() != nil:
+		e.merge(e.adv.ProfileUncore(e.s, start+e.Ticks, e.missingUncore()))
+	case e.CoreShared && e.Iterations%2 == 0:
+		refreshSigs()
+	case !e.det.cfg.DisableMRC && e.mrcSlope < 0:
+		slope, used := e.adv.CacheResponseSlope(e.s, start+e.Ticks)
+		e.Ticks += used
+		e.mrcSlope = slope
+	case !e.det.cfg.DisableShutter:
+		window := sim.Tick(e.det.cfg.ShutterSamples * 3)
+		_, minV := e.adv.Shutter(e.s, start+e.Ticks, e.det.cfg.ShutterSamples, window)
+		e.Ticks += window
+		e.UsedShutter = true
+		for _, r := range sim.UncoreResources() {
+			e.shutter.fold(r, minV.Get(r))
+		}
+	}
+	obs, known = e.combined()
+	return e.det.Rec.Detect(obs, known)
+}
+
+// missingUncore lists up to two uncore resources not yet measured, or nil.
+// The cap keeps each iteration within the paper's 2-5 s profiling budget;
+// later iterations pick up the rest.
+func (e *Episode) missingUncore() []sim.Resource {
+	var out []sim.Resource
+	for _, r := range sim.UncoreResources() {
+		if !e.uncore.known[r] {
+			out = append(out, r)
+			if len(out) == 2 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Observation returns the episode's combined sparse observation (the
+// single-victim hypothesis view).
+func (e *Episode) Observation() (sim.Vector, [sim.NumResources]bool) {
+	obs, known := e.combined()
+	var v sim.Vector
+	var k [sim.NumResources]bool
+	for i := range obs {
+		v.Set(sim.Resource(i), obs[i])
+		k[i] = known[i]
+	}
+	return v, k
+}
+
+// saturatedFloor is the measured mixture level above which a resource is
+// treated as clamped: the true aggregate demand may exceed it, so only
+// underprediction is penalised there.
+const saturatedFloor = 92
+
+// kAcceptRatio is how much the mixture-fit error must improve before an
+// extra co-resident hypothesis is accepted — guarding against explaining
+// measurement noise with phantom tenants.
+const kAcceptRatio = 0.8
+
+// Candidates disentangles the accumulated observations into up to
+// maxVictims per-co-resident results, strongest first (§3.3). The §3.3
+// linear-additivity assumption is applied directly: the set of training
+// profiles whose summed uncore pressure best explains the measured mixture
+// is searched exhaustively (pairs, then a greedy third and fourth), with
+// the hyperthread-sibling's core signature anchoring one component when a
+// core is shared, and the shutter minima rewarding components that match a
+// quiet-phase observation otherwise. Extra components are only accepted
+// when they improve the fit substantially.
+// Candidates disentangles the accumulated observations into up to
+// maxVictims per-co-resident results, strongest first. The §3.3
+// linear-additivity assumption is applied directly: the set of training
+// profiles whose summed uncore pressure best explains the measured mixture
+// is searched, with the per-core sibling signatures anchoring one
+// component each (hyperthreads are never shared between VMs, so each
+// signature belongs to exactly one co-resident), and the shutter minima
+// rewarding components that match a quiet-phase observation. Extra
+// unanchored components are accepted only when they improve the fit
+// substantially.
+func (e *Episode) Candidates(maxVictims int) []*mining.Result {
+	if maxVictims <= 0 {
+		maxVictims = 1
+	}
+	obs, known := e.combined()
+	single := e.det.Rec.Detect(obs, known)
+	if maxVictims == 1 || e.uncore.knownCount() == 0 {
+		return []*mining.Result{single}
+	}
+
+	profiles := e.det.Rec.TrainingProfiles()
+	n := len(profiles)
+
+	// Anchors: one per distinct sibling signature, capped at maxVictims.
+	anchors := e.sigs
+	if len(anchors) > maxVictims {
+		anchors = anchors[:maxVictims]
+	}
+
+	// Mixture-fit error of a candidate component set. Each co-resident
+	// runs at its own (unknown) load and deployment size, so the fit gives
+	// every component an intensity scalar αᵢ ∈ [0.5, 1.15], solved by
+	// regularised coordinate descent on the non-saturated resources —
+	// training profiles are measured at the reference deployment.
+	sumFit := func(idxs []int) float64 {
+		const (
+			alphaLo, alphaHi = 0.5, 1.15
+			alphaPrior       = 0.85
+			lambda           = 300.0 // regulariser toward the prior
+		)
+		alphas := make([]float64, len(idxs))
+		for i := range alphas {
+			alphas[i] = alphaPrior
+		}
+		for pass := 0; pass < 12; pass++ {
+			for ci, i := range idxs {
+				num, den := lambda*alphaPrior, lambda
+				for _, r := range sim.UncoreResources() {
+					if !e.uncore.known[r] {
+						continue
+					}
+					m := e.uncore.obs.Get(r)
+					if m >= saturatedFloor {
+						continue
+					}
+					s := profiles[i].Pressure[r]
+					resid := m
+					for cj, j := range idxs {
+						if cj != ci {
+							resid -= alphas[cj] * profiles[j].Pressure[r]
+						}
+					}
+					num += s * resid
+					den += s * s
+				}
+				a := num / den
+				if a < alphaLo {
+					a = alphaLo
+				}
+				if a > alphaHi {
+					a = alphaHi
+				}
+				alphas[ci] = a
+			}
+		}
+		err, wsum := 0.0, 0.0
+		for _, r := range sim.UncoreResources() {
+			if !e.uncore.known[r] {
+				continue
+			}
+			m := e.uncore.obs.Get(r)
+			pred := 0.0
+			for ci, i := range idxs {
+				pred += alphas[ci] * profiles[i].Pressure[r]
+			}
+			d := pred - m
+			if m >= saturatedFloor && d > 0 {
+				d = 0 // clamped: the mixture may truly exceed the reading
+			}
+			err += d * d
+			wsum++
+		}
+		if wsum == 0 {
+			return 0
+		}
+		return mathSqrt(err / wsum)
+	}
+
+	// sigErr scores profile i against one sibling core signature. The
+	// sibling runs at its own (unknown, below-peak) load, so a scalar
+	// α ∈ [0.7, 1.05] is fitted first, exactly as for the uncore mixture.
+	sigErr := func(sig sim.Vector, i int) float64 {
+		num, den := 0.0, 0.0
+		for _, r := range sim.CoreResources() {
+			s := profiles[i].Pressure[r]
+			num += s * sig.Get(r)
+			den += s * s
+		}
+		alpha := 1.0
+		if den > 0 {
+			alpha = num / den
+			if alpha < 0.7 {
+				alpha = 0.7
+			}
+			if alpha > 1.05 {
+				alpha = 1.05
+			}
+		}
+		err, wsum := 0.0, 0.0
+		for _, r := range sim.CoreResources() {
+			d := alpha*profiles[i].Pressure[r] - sig.Get(r)
+			err += d * d
+			wsum++
+		}
+		return mathSqrt(err / wsum)
+	}
+
+	// Shutter anchor: reward a component that matches the quiet-phase
+	// minima (the steady co-resident alone). Only meaningful when the
+	// shutter actually caught a quiet phase — the minima must fall well
+	// below the mean mixture somewhere; with constant-load co-residents
+	// they track the mixture itself and carry no per-component signal
+	// (§3.3's stated limitation).
+	shutterUseful := false
+	if e.UsedShutter {
+		for _, r := range sim.UncoreResources() {
+			if e.shutter.known[r] && e.uncore.known[r] &&
+				e.shutter.obs.Get(r) < 0.72*e.uncore.obs.Get(r) &&
+				e.uncore.obs.Get(r) > 25 {
+				shutterUseful = true
+				break
+			}
+		}
+	}
+	shutterErr := func(idxs []int) float64 {
+		if !shutterUseful || e.shutter.knownCount() == 0 {
+			return 0
+		}
+		best := mathInf()
+		for _, i := range idxs {
+			err, wsum := 0.0, 0.0
+			for _, r := range sim.UncoreResources() {
+				if !e.shutter.known[r] {
+					continue
+				}
+				d := profiles[i].Pressure[r] - e.shutter.obs.Get(r)
+				err += d * d
+				wsum++
+			}
+			if s := mathSqrt(err / wsum); s < best {
+				best = s
+			}
+		}
+		return best * 0.4 // soft: minima are biased low
+	}
+
+	// mrcErr compares the measured cache-spill slope against what the
+	// candidate set predicts (the §3.3 miss-ratio-curve extension). The
+	// predicted response of component i is LLCᵢ·spillᵢ·spillScale.
+	mrcErr := func(idxs []int) float64 {
+		if e.mrcSlope < 0 {
+			return 0
+		}
+		pred := 0.0
+		for _, i := range idxs {
+			d := sim.FromSlice(profiles[i].Pressure)
+			pred += d.Get(sim.LLC) * sim.CacheSpillFactor(d) * 0.4
+		}
+		diff := pred - e.mrcSlope
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff * 0.25 // soft term: one equation among many
+	}
+
+	// score evaluates anchored slots (first len(anchors) entries of idxs,
+	// matched positionally to anchors) plus free slots.
+	const coreWeight = 1.0
+	score := func(idxs []int) float64 {
+		s := sumFit(idxs) + shutterErr(idxs) + mrcErr(idxs)
+		for ai, sig := range anchors {
+			if ai < len(idxs) {
+				s += coreWeight * sigErr(sig, idxs[ai]) / float64(maxInt(1, len(anchors)))
+			}
+		}
+		return s
+	}
+
+	// Shortlists: per anchor, the profiles whose core profile matches its
+	// signature; for free slots, the best lone-explanation profiles.
+	const shortlist = 8
+	anchorLists := make([][]int, len(anchors))
+	for ai, sig := range anchors {
+		anchorLists[ai] = topByScore(n, shortlist, func(i int) float64 {
+			return sigErr(sig, i) + 0.5*sumFitSingleBias(e, profiles, i)
+		})
+	}
+	freeList := topByScore(n, 40, func(i int) float64 {
+		return sumFitSingleBias(e, profiles, i)
+	})
+	if shutterUseful {
+		// The mixture minus the quiet-phase minima approximates the bursty
+		// co-resident's own load-dependent footprint — an uncore anchor for
+		// one unanchored component.
+		var diff sim.Vector
+		for _, r := range sim.UncoreResources() {
+			if e.uncore.known[r] && e.shutter.known[r] {
+				d := e.uncore.obs.Get(r) - e.shutter.obs.Get(r)
+				if d < 0 {
+					d = 0
+				}
+				diff.Set(r, d)
+			}
+		}
+		diffErr := func(i int) float64 {
+			num, den := 0.0, 0.0
+			for _, r := range sim.UncoreResources() {
+				if !e.uncore.known[r] || !e.shutter.known[r] {
+					continue
+				}
+				s := profiles[i].Pressure[r]
+				num += s * diff.Get(r)
+				den += s * s
+			}
+			alpha := 1.0
+			if den > 0 {
+				alpha = num / den
+				if alpha < 0.4 {
+					alpha = 0.4
+				}
+				if alpha > 1.1 {
+					alpha = 1.1
+				}
+			}
+			err, wsum := 0.0, 0.0
+			for _, r := range sim.UncoreResources() {
+				if !e.uncore.known[r] || !e.shutter.known[r] {
+					continue
+				}
+				d := alpha*profiles[i].Pressure[r] - diff.Get(r)
+				err += d * d
+				wsum++
+			}
+			return mathSqrt(err / wsum)
+		}
+		freeList = append(topByScore(n, 10, diffErr), freeList...)
+	}
+
+	// Initial set: the best shortlist entry per anchor.
+	set := make([]int, len(anchors))
+	for ai := range anchors {
+		set[ai] = anchorLists[ai][0]
+	}
+	if len(set) == 0 {
+		// No anchors: start from the best single explanation.
+		set = []int{freeList[0]}
+	}
+	bestScore := score(set)
+
+	// Greedy extension with unanchored components, accepted only on a
+	// substantial fit improvement. Without a core anchor there is no direct
+	// evidence of multi-tenancy at all, so the bar is far higher — a lone
+	// co-resident must not be split into phantoms.
+	accept := kAcceptRatio
+	if len(anchors) == 0 {
+		accept = 0.45
+	}
+	for len(set) < maxVictims {
+		extBest, extScore := -1, bestScore
+		for _, i := range freeList {
+			s := score(append(append([]int(nil), set...), i))
+			if s < extScore {
+				extBest, extScore = i, s
+			}
+		}
+		if extBest < 0 || extScore >= bestScore*accept {
+			break
+		}
+		set = append(set, extBest)
+		bestScore = extScore
+	}
+
+	// Coordinate-descent refinement: revisit each slot against its
+	// shortlist (anchored) or the free list (unanchored), two passes.
+	for pass := 0; pass < 2; pass++ {
+		for si := range set {
+			candidatesFor := freeList
+			if si < len(anchorLists) {
+				candidatesFor = anchorLists[si]
+			}
+			for _, alt := range candidatesFor {
+				trial := append([]int(nil), set...)
+				trial[si] = alt
+				if s := score(trial); s < bestScore {
+					set, bestScore = trial, s
+				}
+			}
+		}
+	}
+
+	// A lone component with no anchors means the single-victim hypothesis
+	// carries the day — return the full-distribution result for it.
+	if len(set) == 1 && len(anchors) == 0 {
+		return []*mining.Result{single}
+	}
+
+	out := make([]*mining.Result, 0, len(set))
+	for _, i := range set {
+		p := profiles[i]
+		out = append(out, &mining.Result{
+			Pressure: append([]float64(nil), p.Pressure...),
+			Matches: []mining.Match{{
+				Label:      p.Label,
+				Class:      p.Class,
+				Similarity: mathExpNeg(bestScore / 20),
+			}},
+		})
+	}
+	return out
+}
+
+// sumFitSingleBias scores profile i as a lone explanation of the mixture
+// with one-sided error: overshoot is forgiven (another tenant may supply
+// the rest), undershoot beyond the mixture is impossible and penalised.
+func sumFitSingleBias(e *Episode, profiles []mining.LabeledProfile, i int) float64 {
+	err, wsum := 0.0, 0.0
+	for _, r := range sim.UncoreResources() {
+		if !e.uncore.known[r] {
+			continue
+		}
+		d := profiles[i].Pressure[r] - e.uncore.obs.Get(r)
+		if d < 0 {
+			d = 0 // the rest of the mixture covers it
+		}
+		err += d * d
+		wsum++
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return mathSqrt(err / wsum)
+}
+
+// topByScore returns the indices of the k smallest scores among [0, n).
+func topByScore(n, k int, score func(int) float64) []int {
+	entries := make([]indexScore, n)
+	for i := 0; i < n; i++ {
+		entries[i] = indexScore{i, score(i)}
+	}
+	sortEntries(entries)
+	if k > n {
+		k = n
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = entries[i].i
+	}
+	return out
+}
+
+// maxInt returns the larger of two ints.
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bolt/internal/probe"
+	"bolt/internal/sim"
+	"bolt/internal/stats"
+	"bolt/internal/workload"
+)
+
+// mixHost builds a host with the adversary on the thread-0 slots and the
+// given victims filling the rest, so hyperthread sharing occurs.
+func mixHost(t *testing.T, adv *probe.Adversary, specs []workload.Spec, vcpus int) *sim.Server {
+	t.Helper()
+	s := sim.NewServer("s0", sim.ServerConfig{})
+	if err := s.Place(adv.VM); err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		app := workload.NewApp(spec, workload.Constant{Level: 0.9}, uint64(i+1))
+		if err := s.Place(&sim.VM{ID: spec.Label + string(rune('a'+i)), VCPUs: vcpus, App: app}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestCandidatesRespectsMaxVictims(t *testing.T) {
+	d := trainedDetector(t)
+	rng := stats.NewRNG(3)
+	for _, maxV := range []int{1, 2, 3, 5} {
+		adv := probe.NewAdversary("adv", 4, probe.Config{}, rng.Split())
+		s := mixHost(t, adv, workload.VictimSpecs(200, 3), 3)
+		e := d.NewEpisode(s, adv)
+		for it := 0; it < 4; it++ {
+			e.Step(0)
+		}
+		cands := e.Candidates(maxV)
+		if len(cands) == 0 || len(cands) > maxV {
+			t.Fatalf("maxVictims=%d yielded %d candidates", maxV, len(cands))
+		}
+	}
+}
+
+func TestCandidatesZeroMaxTreatedAsOne(t *testing.T) {
+	d := trainedDetector(t)
+	adv := probe.NewAdversary("adv", 4, probe.Config{}, stats.NewRNG(4))
+	s := mixHost(t, adv, workload.VictimSpecs(201, 1), 3)
+	e := d.NewEpisode(s, adv)
+	e.Step(0)
+	if got := len(e.Candidates(0)); got != 1 {
+		t.Fatalf("maxVictims=0 should yield exactly 1 candidate, got %d", got)
+	}
+}
+
+func TestCandidatesBeforeAnyStep(t *testing.T) {
+	d := trainedDetector(t)
+	adv := probe.NewAdversary("adv", 4, probe.Config{}, stats.NewRNG(5))
+	s := mixHost(t, adv, nil, 3)
+	e := d.NewEpisode(s, adv)
+	// No measurements at all: the episode must not panic and must fall
+	// back to the single-hypothesis result.
+	cands := e.Candidates(3)
+	if len(cands) != 1 {
+		t.Fatalf("measurement-free episode should yield 1 candidate, got %d", len(cands))
+	}
+}
+
+func TestEpisodeDeterministic(t *testing.T) {
+	d := trainedDetector(t)
+	run := func() []string {
+		adv := probe.NewAdversary("adv", 4, probe.Config{}, stats.NewRNG(99))
+		s := mixHost(t, adv, workload.VictimSpecs(202, 2), 3)
+		e := d.NewEpisode(s, adv)
+		var labels []string
+		for it := 0; it < 4; it++ {
+			labels = append(labels, e.Step(0).Best().Label)
+		}
+		for _, c := range e.Candidates(2) {
+			labels = append(labels, c.Best().Label)
+		}
+		return labels
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("identical seeds diverged at output %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEpisodeUnderCoreIsolationSeesNoCore(t *testing.T) {
+	// With dedicated cores the adversary never shares a core; the episode
+	// must not claim CoreShared and must produce no signatures.
+	cfg := sim.ServerConfig{DedicatedCores: true}
+	s := sim.NewServer("s0", cfg)
+	d := trainedDetector(t)
+	adv := probe.NewAdversary("adv", 4, probe.Config{}, stats.NewRNG(6))
+	if err := s.Place(adv.VM); err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.VictimSpecs(203, 1)[0]
+	app := workload.NewApp(spec, workload.Constant{Level: 0.9}, 1)
+	if err := s.Place(&sim.VM{ID: "v", VCPUs: 3, App: app}); err != nil {
+		t.Fatal(err)
+	}
+	e := d.NewEpisode(s, adv)
+	for it := 0; it < 4; it++ {
+		e.Step(0)
+	}
+	if e.CoreShared {
+		t.Fatal("dedicated cores must prevent core sharing")
+	}
+	if len(e.sigs) != 0 {
+		t.Fatalf("no signatures should exist without core sharing, got %d", len(e.sigs))
+	}
+}
+
+func TestTinyTrainingSetStillWorks(t *testing.T) {
+	// Failure injection: a detector trained on only three applications must
+	// degrade gracefully, not crash.
+	rng := stats.NewRNG(7)
+	specs := []workload.Spec{
+		workload.Memcached(rng.Split(), 0),
+		workload.Hadoop(rng.Split(), 0),
+		workload.Spark(rng.Split(), 0),
+	}
+	d := Train(specs, Config{})
+	adv := probe.NewAdversary("adv", 4, probe.Config{}, rng.Split())
+	s := mixHost(t, adv, []workload.Spec{workload.Memcached(rng.Split(), 1)}, 3)
+	det := d.Detect(s, adv, 0, 2)
+	if det.Result == nil || len(det.CoResidents) == 0 {
+		t.Fatal("tiny training set must still produce a result")
+	}
+}
+
+func TestDetectSimilarityBounded(t *testing.T) {
+	d := trainedDetector(t)
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		adv := probe.NewAdversary("adv", 4, probe.Config{}, rng.Split())
+		s := sim.NewServer("s0", sim.ServerConfig{})
+		if err := s.Place(adv.VM); err != nil {
+			return true
+		}
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			g := workload.Generators()[rng.Intn(len(workload.Generators()))]
+			spec := g.Make(rng.Split(), rng.Intn(24))
+			app := workload.NewApp(spec, workload.Constant{Level: rng.Range(0.7, 1)}, rng.Uint64())
+			if err := s.Place(&sim.VM{ID: spec.Label + string(rune('a'+i)), VCPUs: 2 + rng.Intn(3), App: app}); err != nil {
+				break
+			}
+		}
+		det := d.Detect(s, adv, sim.Tick(seed%1000), n)
+		for _, c := range det.CoResidents {
+			for _, m := range c.Matches {
+				if m.Similarity < -1 || m.Similarity > 1 {
+					return false
+				}
+			}
+			if len(c.Pressure) != sim.NumResources {
+				return false
+			}
+			for _, p := range c.Pressure {
+				if p < 0 || p > 100 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObservationAveragesRepeatedMeasurements(t *testing.T) {
+	var g signal
+	g.fold(sim.LLC, 60)
+	g.fold(sim.LLC, 70)
+	g.fold(sim.LLC, 80)
+	if got := g.obs.Get(sim.LLC); got != 70 {
+		t.Fatalf("running mean = %v, want 70", got)
+	}
+	if g.counts[sim.LLC] != 3 {
+		t.Fatalf("counts = %d, want 3", g.counts[sim.LLC])
+	}
+	if g.knownCount() != 1 {
+		t.Fatalf("knownCount = %d, want 1", g.knownCount())
+	}
+}

@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"fmt"
+
+	"bolt/internal/core"
+	"bolt/internal/probe"
+	"bolt/internal/sim"
+	"bolt/internal/stats"
+	"bolt/internal/workload"
+)
+
+// ExampleDetector_Detect runs the whole detection flow: training on the
+// catalog, placing a victim and the adversarial VM on a simulated host,
+// and asking Bolt what lives there.
+func ExampleDetector_Detect() {
+	rng := stats.NewRNG(7)
+	detector := core.Train(workload.TrainingSpecs(7), core.Config{})
+
+	host := sim.NewServer("host-0", sim.ServerConfig{})
+	spec := workload.Memcached(rng.Split(), 3)
+	app := workload.NewApp(spec, workload.Constant{Level: 0.9}, rng.Uint64())
+	if err := host.Place(&sim.VM{ID: "victim", VCPUs: 5, App: app}); err != nil {
+		panic(err)
+	}
+	adversary := probe.NewAdversary("bolt", 4, probe.Config{}, rng.Split())
+	if err := host.Place(adversary.VM); err != nil {
+		panic(err)
+	}
+
+	detection := detector.Detect(host, adversary, 0, 1)
+	fmt.Printf("victim class detected: %v\n",
+		core.ClassMatches(detection.Result.Best().Label, spec.Class))
+	// Output:
+	// victim class detected: true
+}
+
+// ExampleLabelMatches demonstrates the paper's §3.4 correctness rule.
+func ExampleLabelMatches() {
+	// Same framework and algorithm, different dataset size: correct.
+	fmt.Println(core.LabelMatches("hadoop:svm:L", "hadoop:svm:S"))
+	// Same service, compatible load characteristics (both read-mostly).
+	fmt.Println(core.LabelMatches("memcached:rd95:KB", "memcached:rd90:MB"))
+	// Wrong framework.
+	fmt.Println(core.LabelMatches("spark:svm:L", "hadoop:svm:L"))
+	// Output:
+	// true
+	// true
+	// false
+}

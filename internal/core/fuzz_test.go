@@ -1,0 +1,71 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bolt/internal/sim"
+)
+
+// FuzzLabelMatches: the matcher must never panic, must be reflexive for
+// well-formed labels, and must respect class boundaries.
+func FuzzLabelMatches(f *testing.F) {
+	f.Add("hadoop:svm:L", "hadoop:svm:S")
+	f.Add("memcached:rd90:KB", "memcached:rd50:KB")
+	f.Add("redis:v1", "redis:v2")
+	f.Add("", "x")
+	f.Add("a:b:c:d:e", "a:b")
+	f.Add("memcached:rdXX", "memcached:rd90")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		got := LabelMatches(a, b)
+		// Class boundary: labels with different first tokens never match.
+		ca := strings.SplitN(a, ":", 2)[0]
+		cb := strings.SplitN(b, ":", 2)[0]
+		if got && ca != cb {
+			t.Fatalf("LabelMatches(%q, %q) crossed the class boundary", a, b)
+		}
+		// Reflexivity for non-empty labels.
+		if a != "" && !LabelMatches(a, a) {
+			t.Fatalf("LabelMatches(%q, %q) not reflexive", a, a)
+		}
+		// Symmetry of the class test.
+		if ClassMatches(a, cb) && ca != cb {
+			t.Fatalf("ClassMatches(%q, %q) crossed the boundary", a, cb)
+		}
+	})
+}
+
+// FuzzReadMostly: arbitrary tokens must parse without panicking and only
+// well-formed rdNN tokens with NN ≥ 70 classify as read-mostly.
+func FuzzReadMostly(f *testing.F) {
+	f.Add("rd90")
+	f.Add("rd")
+	f.Add("rd9999999999999999")
+	f.Add("wr50")
+	f.Add("rd-1")
+	f.Fuzz(func(t *testing.T, tok string) {
+		got := readMostly(tok)
+		if got && !strings.HasPrefix(tok, "rd") {
+			t.Fatalf("readMostly(%q) true without the rd prefix", tok)
+		}
+	})
+}
+
+// FuzzCharacteristicsMatch: arbitrary detected vectors must never panic.
+func FuzzCharacteristicsMatch(f *testing.F) {
+	f.Add(10, 50.0)
+	f.Add(0, 0.0)
+	f.Add(3, -5.0)
+	f.Fuzz(func(t *testing.T, n int, fill float64) {
+		if n < 0 || n > 1000 {
+			return
+		}
+		detected := make([]float64, n)
+		for i := range detected {
+			detected[i] = fill
+		}
+		var truth sim.Vector
+		truth.Set(sim.LLC, 80)
+		_ = CharacteristicsMatch(detected, truth)
+	})
+}

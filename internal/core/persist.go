@@ -1,0 +1,82 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"bolt/internal/mining"
+	"bolt/internal/sim"
+	"bolt/internal/workload"
+)
+
+// profileFile is the on-disk representation of a training set. Shipping
+// the trained profiles (rather than retraining from the catalog) is how a
+// real deployment would distribute Bolt: profiling the 120 reference
+// workloads takes hours on real hardware, while the file is a few KB.
+type profileFile struct {
+	Version  int             `json:"version"`
+	Profiles []storedProfile `json:"profiles"`
+}
+
+type storedProfile struct {
+	Label    string    `json:"label"`
+	Class    string    `json:"class"`
+	Pressure []float64 `json:"pressure"`
+}
+
+// profileFileVersion guards against silently loading an incompatible dump.
+const profileFileVersion = 1
+
+// SaveProfiles writes the detector's training profiles as JSON.
+func (d *Detector) SaveProfiles(w io.Writer) error {
+	file := profileFile{Version: profileFileVersion}
+	for _, p := range d.Rec.TrainingProfiles() {
+		file.Profiles = append(file.Profiles, storedProfile{
+			Label:    p.Label,
+			Class:    p.Class,
+			Pressure: p.Pressure,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(file)
+}
+
+// LoadProfiles reads a profile dump and trains a detector from it with the
+// given configuration.
+func LoadProfiles(r io.Reader, cfg Config) (*Detector, error) {
+	var file profileFile
+	if err := json.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("core: decoding profiles: %w", err)
+	}
+	if file.Version != profileFileVersion {
+		return nil, fmt.Errorf("core: profile file version %d, want %d",
+			file.Version, profileFileVersion)
+	}
+	if len(file.Profiles) == 0 {
+		return nil, fmt.Errorf("core: profile file contains no profiles")
+	}
+	specs := make([]workload.Spec, 0, len(file.Profiles))
+	for i, p := range file.Profiles {
+		if p.Label == "" {
+			return nil, fmt.Errorf("core: profile %d has no label", i)
+		}
+		if len(p.Pressure) != sim.NumResources {
+			return nil, fmt.Errorf("core: profile %q has %d resources, want %d",
+				p.Label, len(p.Pressure), sim.NumResources)
+		}
+		specs = append(specs, workload.Spec{
+			Label: p.Label,
+			Class: p.Class,
+			Base:  sim.FromSlice(p.Pressure),
+		})
+	}
+	return Train(specs, cfg), nil
+}
+
+// Profiles returns the detector's training set as labelled profiles (a
+// copy-free view; treat as read-only).
+func (d *Detector) Profiles() []mining.LabeledProfile {
+	return d.Rec.TrainingProfiles()
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bolt/internal/mining"
+	"bolt/internal/probe"
+	"bolt/internal/sim"
+)
+
+// Observation is one entry of a Tracker's detection history.
+type Observation struct {
+	At        sim.Tick
+	Detection Detection
+	// PhaseChange marks observations whose best label diverged from the
+	// previous observation's — the victim (or its load) changed (§3.3:
+	// cloud users run consecutive jobs on long-lived instances).
+	PhaseChange bool
+}
+
+// TrackerConfig tunes continuous monitoring.
+type TrackerConfig struct {
+	// Interval between detections; 0 means 20 s (the paper's default,
+	// Fig. 10a: accuracy collapses past ~30 s against phase-changing
+	// victims).
+	Interval sim.Tick
+	// MaxVictims bounds the disentangling per detection; 0 means 5.
+	MaxVictims int
+	// History bounds the retained observations; 0 means 128.
+	History int
+}
+
+func (c TrackerConfig) withDefaults() TrackerConfig {
+	if c.Interval == 0 {
+		c.Interval = 20 * sim.TicksPerSecond
+	}
+	if c.MaxVictims == 0 {
+		c.MaxVictims = 5
+	}
+	if c.History == 0 {
+		c.History = 128
+	}
+	return c
+}
+
+// Tracker runs Bolt periodically against one host, maintaining a rolling
+// detection history and flagging phase changes. This is the library form
+// of the periodic re-profiling §3.3 prescribes (and the machinery behind
+// the Fig. 8 timeline): detection results go stale as co-residents change,
+// so a real adversary keeps the loop running for as long as the instance
+// lives.
+type Tracker struct {
+	det  *Detector
+	s    *sim.Server
+	adv  *probe.Adversary
+	cfg  TrackerConfig
+	hist []Observation
+	next sim.Tick
+}
+
+// NewTracker builds a tracker for the adversary on server s. The first
+// Advance call detects immediately.
+func (d *Detector) NewTracker(s *sim.Server, adv *probe.Adversary, cfg TrackerConfig) *Tracker {
+	return &Tracker{det: d, s: s, adv: adv, cfg: cfg.withDefaults()}
+}
+
+// Advance moves simulated time forward to now, running every detection the
+// interval schedule calls for, and returns the observations produced.
+func (t *Tracker) Advance(now sim.Tick) []Observation {
+	var produced []Observation
+	for t.next <= now {
+		at := t.next
+		det := t.det.Detect(t.s, t.adv, at, t.cfg.MaxVictims)
+		obs := Observation{At: at, Detection: det}
+		if last, ok := t.Latest(); ok {
+			obs.PhaseChange = last.Detection.Result.Best().Label != det.Result.Best().Label
+		}
+		t.hist = append(t.hist, obs)
+		if len(t.hist) > t.cfg.History {
+			t.hist = t.hist[len(t.hist)-t.cfg.History:]
+		}
+		produced = append(produced, obs)
+		// Detection itself consumes time; the next slot starts after both
+		// the interval and the profiling cost.
+		step := t.cfg.Interval
+		if det.Ticks > step {
+			step = det.Ticks
+		}
+		t.next = at + step
+	}
+	return produced
+}
+
+// Latest returns the most recent observation.
+func (t *Tracker) Latest() (Observation, bool) {
+	if len(t.hist) == 0 {
+		return Observation{}, false
+	}
+	return t.hist[len(t.hist)-1], true
+}
+
+// History returns the retained observations, oldest first.
+func (t *Tracker) History() []Observation {
+	return append([]Observation(nil), t.hist...)
+}
+
+// PhaseChanges returns the observations flagged as phase changes.
+func (t *Tracker) PhaseChanges() []Observation {
+	var out []Observation
+	for _, o := range t.hist {
+		if o.PhaseChange {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// CurrentBest returns the latest best match, or a zero Match when no
+// detection has run yet.
+func (t *Tracker) CurrentBest() mining.Match {
+	last, ok := t.Latest()
+	if !ok {
+		return mining.Match{}
+	}
+	return last.Detection.Result.Best()
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bolt/internal/probe"
+	"bolt/internal/sim"
+	"bolt/internal/stats"
+	"bolt/internal/workload"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := trainedDetector(t)
+	var buf bytes.Buffer
+	if err := d.SaveProfiles(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadProfiles(&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := d.Profiles()
+	got := loaded.Profiles()
+	if len(got) != len(orig) {
+		t.Fatalf("round trip lost profiles: %d vs %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i].Label != orig[i].Label || got[i].Class != orig[i].Class {
+			t.Fatalf("profile %d identity changed: %+v vs %+v", i, got[i], orig[i])
+		}
+		for j := range orig[i].Pressure {
+			if got[i].Pressure[j] != orig[i].Pressure[j] {
+				t.Fatalf("profile %d pressure %d changed", i, j)
+			}
+		}
+	}
+
+	// The reloaded detector must detect identically.
+	adv := probe.NewAdversary("adv", 4, probe.Config{}, stats.NewRNG(77))
+	s := hostWith(t, adv, workload.VictimSpecs(300, 1)[0])
+	a := d.Detect(s, adv, 0, 1)
+	adv2 := probe.NewAdversary("adv", 4, probe.Config{}, stats.NewRNG(77))
+	s2 := hostWith(t, adv2, workload.VictimSpecs(300, 1)[0])
+	b := loaded.Detect(s2, adv2, 0, 1)
+	if a.Result.Best().Label != b.Result.Best().Label {
+		t.Fatalf("reloaded detector diverged: %q vs %q",
+			a.Result.Best().Label, b.Result.Best().Label)
+	}
+}
+
+func TestLoadProfilesRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not json",
+		`{"version": 99, "profiles": [{"label":"x","class":"x","pressure":[1,2,3,4,5,6,7,8,9,10]}]}`,
+		`{"version": 1, "profiles": []}`,
+		`{"version": 1, "profiles": [{"label":"","class":"x","pressure":[1,2,3,4,5,6,7,8,9,10]}]}`,
+		`{"version": 1, "profiles": [{"label":"x","class":"x","pressure":[1,2,3]}]}`,
+	}
+	for i, c := range cases {
+		if _, err := LoadProfiles(strings.NewReader(c), Config{}); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestTrackerRunsOnSchedule(t *testing.T) {
+	d := trainedDetector(t)
+	adv := probe.NewAdversary("adv", 4, probe.Config{}, stats.NewRNG(11))
+	s := hostWith(t, adv, workload.VictimSpecs(301, 1)[0])
+	tr := d.NewTracker(s, adv, TrackerConfig{Interval: 200})
+
+	obs := tr.Advance(0)
+	if len(obs) != 1 {
+		t.Fatalf("first Advance should detect once, got %d", len(obs))
+	}
+	// Advancing far enough should produce several more detections.
+	obs = tr.Advance(2000)
+	if len(obs) < 2 {
+		t.Fatalf("2000 ticks at interval 200 should yield several detections, got %d", len(obs))
+	}
+	if _, ok := tr.Latest(); !ok {
+		t.Fatal("Latest should exist after detections")
+	}
+	if tr.CurrentBest().Label == "" {
+		t.Fatal("CurrentBest should carry a label")
+	}
+	// Advancing to the past is a no-op.
+	if extra := tr.Advance(0); len(extra) != 0 {
+		t.Fatal("Advance into the past must not detect")
+	}
+}
+
+func TestTrackerDetectsPhaseChange(t *testing.T) {
+	d := trainedDetector(t)
+	rng := stats.NewRNG(12)
+
+	// A victim that flips from SPEC (no network) to memcached (heavy
+	// network) halfway through.
+	spec1 := workload.SpecCPU(rng.Split(), 0)
+	spec1.Jitter = 0
+	spec2 := workload.Memcached(rng.Split(), 0)
+	spec2.Jitter = 0
+	seq := workload.NewSequence([]workload.Phase{
+		{Spec: spec1, Pattern: workload.Constant{Level: 0.95}, Duration: 3000},
+		{Spec: spec2, Pattern: workload.Constant{Level: 0.95}, Duration: 3000},
+	}, 5)
+	s := sim.NewServer("s0", sim.ServerConfig{})
+	if err := s.Place(&sim.VM{ID: "victim", VCPUs: 3, App: seq}); err != nil {
+		t.Fatal(err)
+	}
+	adv := probe.NewAdversary("bolt", 4, probe.Config{}, rng.Split())
+	if err := s.Place(adv.VM); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := d.NewTracker(s, adv, TrackerConfig{Interval: 500, MaxVictims: 1})
+	tr.Advance(5500)
+	changes := tr.PhaseChanges()
+	if len(changes) == 0 {
+		t.Fatal("the SPEC→memcached flip should register as a phase change")
+	}
+	// Before the flip the label should be SPEC-flavoured; after, cache-
+	// service flavoured.
+	hist := tr.History()
+	early := hist[0].Detection.Result.Best().Label
+	late := hist[len(hist)-1].Detection.Result.Best().Label
+	if early == late {
+		t.Fatalf("labels should change across the phase flip: %q vs %q", early, late)
+	}
+}
+
+func TestTrackerHistoryBounded(t *testing.T) {
+	d := trainedDetector(t)
+	adv := probe.NewAdversary("adv", 4, probe.Config{}, stats.NewRNG(13))
+	s := hostWith(t, adv, workload.VictimSpecs(302, 1)[0])
+	tr := d.NewTracker(s, adv, TrackerConfig{Interval: 100, History: 4})
+	tr.Advance(5000)
+	if got := len(tr.History()); got > 4 {
+		t.Fatalf("history grew to %d, capped at 4", got)
+	}
+}

@@ -1,0 +1,282 @@
+package exper
+
+import (
+	"fmt"
+	"sort"
+
+	"bolt/internal/cluster"
+	"bolt/internal/core"
+	"bolt/internal/probe"
+	"bolt/internal/sim"
+	"bolt/internal/stats"
+	"bolt/internal/workload"
+)
+
+// ControlledConfig parameterises the §3.4 controlled experiment: a
+// 40-server cluster, 108 victims placed by a scheduler, one 4-vCPU
+// adversarial VM per server, and per-victim detection episodes that stop
+// on correct identification or after MaxIterations (the paper's
+// methodology for Table 1 and Figs. 6-9).
+type ControlledConfig struct {
+	Seed          uint64
+	Servers       int // 0 means 40
+	Victims       int // 0 means 108
+	AdvVCPUs      int // 0 means 4
+	MaxIterations int // 0 means 6
+	Scheduler     cluster.Scheduler
+	ServerCfg     sim.ServerConfig // zero value: 8 cores × 2 threads, full visibility
+	DetectorCfg   core.Config
+	ProbeCfg      probe.Config
+	// Detector overrides training when non-nil (reused across sweeps to
+	// avoid retraining).
+	Detector *core.Detector
+	// MaxVictimVCPUs bounds victim sizes (uniform 1..max); 0 means 6.
+	MaxVictimVCPUs int
+}
+
+func (c ControlledConfig) withDefaults() ControlledConfig {
+	if c.Servers == 0 {
+		c.Servers = 40
+	}
+	if c.Victims == 0 {
+		c.Victims = 108
+	}
+	if c.AdvVCPUs == 0 {
+		c.AdvVCPUs = 4
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 6
+	}
+	if c.Scheduler == nil {
+		c.Scheduler = cluster.LeastLoaded{}
+	}
+	if c.MaxVictimVCPUs == 0 {
+		c.MaxVictimVCPUs = 6
+	}
+	return c
+}
+
+// VictimRecord is the per-victim outcome of a controlled run.
+type VictimRecord struct {
+	Spec        workload.Spec
+	Host        string
+	CoResidents int // victims sharing the host (including this one)
+	// CorrectIteration is the 1-based iteration at which the victim was
+	// first correctly identified; 0 means never within MaxIterations.
+	CorrectIteration int
+	// Characterised reports whether the final detection at least matched
+	// the victim's resource characteristics.
+	Characterised bool
+	// SharedCore reports whether the adversary shared a core with anyone
+	// on this host.
+	SharedCore bool
+	// SharesWithAdv reports whether this victim occupies a hyperthread
+	// sibling of one of the adversary's cores.
+	SharesWithAdv bool
+	Dominant      sim.Resource
+	Ticks         sim.Tick
+}
+
+// Correct reports whether the victim was identified within the budget.
+func (r VictimRecord) Correct() bool { return r.CorrectIteration > 0 }
+
+// ControlledResult aggregates a controlled run.
+type ControlledResult struct {
+	Records  []VictimRecord
+	Detector *core.Detector
+	// SchedulerName records which policy placed the victims.
+	SchedulerName string
+}
+
+// Accuracy returns the fraction of victims identified, in percent.
+func (cr *ControlledResult) Accuracy() float64 {
+	return cr.AccuracyWhere(func(VictimRecord) bool { return true })
+}
+
+// AccuracyWhere returns detection accuracy in percent over the records
+// matching the filter; 0 when none match.
+func (cr *ControlledResult) AccuracyWhere(keep func(VictimRecord) bool) float64 {
+	total, correct := 0, 0
+	for _, r := range cr.Records {
+		if !keep(r) {
+			continue
+		}
+		total++
+		if r.Correct() {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(correct) / float64(total)
+}
+
+// ClassAccuracy returns per-class accuracy in percent for classes with at
+// least one victim.
+func (cr *ControlledResult) ClassAccuracy() map[string]float64 {
+	out := map[string]float64{}
+	classes := map[string]bool{}
+	for _, r := range cr.Records {
+		classes[r.Spec.Class] = true
+	}
+	for c := range classes {
+		out[c] = cr.AccuracyWhere(func(r VictimRecord) bool { return r.Spec.Class == c })
+	}
+	return out
+}
+
+// RunControlled executes the controlled experiment.
+func RunControlled(cfg ControlledConfig) *ControlledResult {
+	cfg = cfg.withDefaults()
+	rng := stats.NewRNG(cfg.Seed ^ 0xc0417011ed)
+	return runControlled(cfg, rng)
+}
+
+func runControlled(cfg ControlledConfig, rng *stats.RNG) *ControlledResult {
+	det := cfg.Detector
+	if det == nil {
+		det = core.Train(workload.TrainingSpecs(cfg.Seed), cfg.DetectorCfg)
+	}
+
+	cl := cluster.New(cfg.Servers, cfg.ServerCfg, cfg.Scheduler)
+
+	// One adversarial VM per server, placed first (§3.4: the remainder of
+	// each machine goes to friendly VMs).
+	advs := make(map[string]*probe.Adversary, cfg.Servers)
+	for _, s := range cl.Servers {
+		adv := probe.NewAdversary("bolt-"+s.Name(), cfg.AdvVCPUs, cfg.ProbeCfg, rng.Split())
+		if err := s.Place(adv.VM); err != nil {
+			continue // host too small for the adversary: skip it
+		}
+		advs[s.Name()] = adv
+	}
+
+	// Victims: disjoint-from-training specs at near-peak constant load
+	// (§3.4 provisions for peak), scheduled across the cluster.
+	specs := workload.VictimSpecs(cfg.Seed, cfg.Victims)
+	type placedVictim struct {
+		spec workload.Spec
+		vm   *sim.VM
+		host *sim.Server
+	}
+	var victims []placedVictim
+	for i, spec := range specs {
+		vcpus := 1 + rng.Intn(cfg.MaxVictimVCPUs)
+		// A small deployment drives proportionally less host-wide traffic:
+		// scale the uncore footprint with size (core pressure is per-core
+		// and does not scale). The reference deployment is ~4 vCPUs.
+		sizeFactor := 0.55 + 0.11*float64(vcpus)
+		if sizeFactor > 1.1 {
+			sizeFactor = 1.1
+		}
+		for _, r := range sim.UncoreResources() {
+			spec.Base.Set(r, spec.Base.Get(r)*sizeFactor)
+		}
+		// Interactive services see user-driven load with idle valleys
+		// (§3.3) — the phases shutter profiling hunts for. Batch analytics
+		// run flat out.
+		var pattern workload.LoadPattern = workload.Constant{Level: rng.Range(0.8, 1.0)}
+		switch spec.Class {
+		case "memcached", "redis", "webserver", "mysql", "postgres", "cassandra", "mongodb", "storm":
+			if rng.Bool(0.35) {
+				pattern = workload.Bursty{
+					OnLevel:  rng.Range(0.85, 1.0),
+					OffLevel: rng.Range(0.25, 0.45),
+					OnTicks:  sim.Tick(rng.Range(60, 160)),
+					OffTicks: sim.Tick(rng.Range(20, 60)),
+					Offset:   sim.Tick(rng.Intn(100)),
+				}
+			}
+		}
+		app := workload.NewApp(spec, pattern, rng.Uint64())
+		vm := &sim.VM{
+			ID:    fmt.Sprintf("victim-%03d-%s", i, spec.Label),
+			VCPUs: vcpus,
+			App:   app,
+		}
+		host, err := cl.Place(vm, 0)
+		if err != nil {
+			continue // cluster full: the victim is dropped, as in a real run
+		}
+		victims = append(victims, placedVictim{spec, vm, host})
+	}
+
+	// Group victims per host and run one episode per host; a victim is
+	// correct at the iteration where any peeled candidate matches it.
+	byHost := map[string][]placedVictim{}
+	for _, v := range victims {
+		byHost[v.host.Name()] = append(byHost[v.host.Name()], v)
+	}
+
+	// Deterministic host order: map iteration would reshuffle the shared
+	// RNG stream between runs.
+	hostNames := make([]string, 0, len(byHost))
+	for name := range byHost {
+		hostNames = append(hostNames, name)
+	}
+	sort.Strings(hostNames)
+
+	res := &ControlledResult{Detector: det, SchedulerName: cfg.Scheduler.Name()}
+	var when sim.Tick
+	for _, hostName := range hostNames {
+		vs := byHost[hostName]
+		adv, ok := advs[hostName]
+		if !ok {
+			continue
+		}
+		host := cl.HostOf(adv.VM.ID)
+		correctAt := make([]int, len(vs))
+		charOK := make([]bool, len(vs))
+		ep := det.NewEpisode(host, adv)
+		for it := 1; it <= cfg.MaxIterations; it++ {
+			stepRes := ep.Step(when)
+			// Bolt's hypotheses this iteration: the disentangled
+			// co-resident set plus the single-victim view (its top match is
+			// a live hypothesis whenever one workload dominates the host).
+			cands := append(ep.Candidates(len(vs)), stepRes)
+			for vi, v := range vs {
+				if correctAt[vi] > 0 {
+					continue
+				}
+				for _, cand := range cands {
+					if core.LabelMatches(cand.Best().Label, v.spec.Label) {
+						correctAt[vi] = it
+						break
+					}
+				}
+				for _, cand := range cands {
+					if core.CharacteristicsMatch(cand.Pressure, v.spec.Base) {
+						charOK[vi] = true
+						break
+					}
+				}
+			}
+			allDone := true
+			for _, c := range correctAt {
+				if c == 0 {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				break
+			}
+		}
+		for vi, v := range vs {
+			res.Records = append(res.Records, VictimRecord{
+				Spec:             v.spec,
+				Host:             hostName,
+				CoResidents:      len(vs),
+				CorrectIteration: correctAt[vi],
+				Characterised:    charOK[vi] || correctAt[vi] > 0,
+				SharedCore:       ep.CoreShared,
+				SharesWithAdv:    host.SharesCore(adv.VM, v.vm),
+				Dominant:         v.spec.Base.Dominant(),
+				Ticks:            ep.Ticks,
+			})
+		}
+		when += ep.Ticks + 100
+	}
+	return res
+}

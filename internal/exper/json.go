@@ -1,0 +1,60 @@
+package exper
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonReport is the machine-readable form of a Report, for piping boltbench
+// output into plotting tools.
+type jsonReport struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Metrics map[string]float64 `json:"metrics"`
+	Tables  []jsonTable        `json:"tables,omitempty"`
+	Series  []jsonSeries       `json:"series,omitempty"`
+	Notes   []string           `json:"notes,omitempty"`
+}
+
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+type jsonSeries struct {
+	Figure string    `json:"figure"`
+	Name   string    `json:"name"`
+	X      []float64 `json:"x"`
+	Y      []float64 `json:"y"`
+}
+
+// WriteJSON emits the report as a single JSON object.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := jsonReport{
+		ID:      r.ID,
+		Title:   r.Title,
+		Metrics: r.Metrics,
+		Notes:   r.Notes,
+	}
+	for _, t := range r.Tables {
+		out.Tables = append(out.Tables, jsonTable{
+			Title:   t.Title,
+			Headers: t.Headers,
+			Rows:    t.Rows,
+		})
+	}
+	for _, f := range r.Figures {
+		for _, s := range f.Series {
+			out.Series = append(out.Series, jsonSeries{
+				Figure: f.Title,
+				Name:   s.Name,
+				X:      s.X,
+				Y:      s.Y,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

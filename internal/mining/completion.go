@@ -1,0 +1,235 @@
+package mining
+
+import (
+	"math"
+
+	"bolt/internal/stats"
+)
+
+// CompletionConfig tunes the SGD PQ-reconstruction used to recover the
+// pressure a victim places on resources Bolt did not profile directly.
+type CompletionConfig struct {
+	Rank      int     // latent factor dimensionality; 0 means min(n, 6)
+	LearnRate float64 // SGD step size; 0 means 0.005
+	Reg       float64 // L2 regularisation; 0 means 0.02
+	Epochs    int     // SGD passes over the known ratings; 0 means 400
+	Seed      uint64  // factor initialisation seed
+	MinVal    float64 // clamp floor for predictions (pressure: 0)
+	MaxVal    float64 // clamp ceiling for predictions (pressure: 100)
+	unbounded bool
+}
+
+func (c CompletionConfig) withDefaults(n int) CompletionConfig {
+	if c.Rank <= 0 {
+		c.Rank = 6
+		if n < c.Rank {
+			c.Rank = n
+		}
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = 0.005
+	}
+	if c.Reg == 0 {
+		c.Reg = 0.02
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 400
+	}
+	if c.MinVal == 0 && c.MaxVal == 0 {
+		c.unbounded = true
+	}
+	return c
+}
+
+// Completer performs PQ matrix completion with stochastic gradient descent:
+// it factorises the training utility matrix A ≈ P Qᵀ, then folds in a new
+// sparse row (the 2-3 profiled resources) to predict the missing entries.
+// This is the collaborative-filtering half of Bolt's hybrid recommender.
+//
+// The raw fold-in is poorly conditioned when the number of observations is
+// close to the factor rank (exactly-determined interpolation extrapolates
+// wildly on the unobserved coordinates), so predictions are anchored by a
+// neighbourhood term: a similarity-weighted average over the training rows
+// closest to the observation on its known coordinates.
+type Completer struct {
+	cfg   CompletionConfig
+	p     *Matrix // m×r application factors
+	q     *Matrix // n×r resource factors
+	train *Matrix // retained for the neighbourhood term
+	n     int
+}
+
+// NewCompleter factorises the dense training matrix (one row per training
+// application, one column per resource, entries in [0,100]).
+func NewCompleter(train *Matrix, cfg CompletionConfig) *Completer {
+	cfg = cfg.withDefaults(train.Cols)
+	c := &Completer{cfg: cfg, train: train.Clone(), n: train.Cols}
+	rng := stats.NewRNG(cfg.Seed ^ 0xb0172017)
+
+	m, n, r := train.Rows, train.Cols, cfg.Rank
+	c.p = NewMatrix(m, r)
+	c.q = NewMatrix(n, r)
+	for i := range c.p.Data {
+		c.p.Data[i] = rng.Norm(0, 0.1)
+	}
+	for i := range c.q.Data {
+		c.q.Data[i] = rng.Norm(0, 0.1)
+	}
+
+	// SGD over all (i, j) cells of the dense training matrix.
+	type cell struct{ i, j int }
+	cells := make([]cell, 0, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			cells = append(cells, cell{i, j})
+		}
+	}
+	lr, reg := cfg.LearnRate, cfg.Reg
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, idx := range rng.Perm(len(cells)) {
+			cl := cells[idx]
+			pi := c.p.Data[cl.i*r : (cl.i+1)*r]
+			qj := c.q.Data[cl.j*r : (cl.j+1)*r]
+			pred := Dot(pi, qj)
+			err := train.At(cl.i, cl.j) - pred
+			for k := 0; k < r; k++ {
+				pk, qk := pi[k], qj[k]
+				pi[k] += lr * (err*qk - reg*pk)
+				qj[k] += lr * (err*pk - reg*qk)
+			}
+		}
+	}
+	return c
+}
+
+// Complete folds a sparse observation vector into the learned factor space
+// and returns the dense prediction. known[j] must be true where observed[j]
+// is a real measurement; other entries of observed are ignored. When fewer
+// than one entry is known the training column means are returned.
+func (c *Completer) Complete(observed []float64, known []bool) []float64 {
+	if len(observed) != c.n || len(known) != c.n {
+		panic("mining: Complete length mismatch")
+	}
+	r := c.cfg.Rank
+
+	// Solve for the new row's factors by ridge-regularised least squares on
+	// the known entries, iterated a few times for stability (equivalent to
+	// fold-in SGD but deterministic).
+	u := make([]float64, r)
+	// The fold-in row has very few observations; the training-time
+	// regulariser would shrink it toward zero and bias every prediction
+	// low, so it is relaxed here.
+	lr, reg := 0.01, c.cfg.Reg*0.1
+	for it := 0; it < 2000; it++ {
+		for j := 0; j < c.n; j++ {
+			if !known[j] {
+				continue
+			}
+			qj := c.q.Data[j*r : (j+1)*r]
+			err := observed[j] - Dot(u, qj)
+			for k := 0; k < r; k++ {
+				u[k] += lr * (err*qj[k] - reg*u[k])
+			}
+		}
+	}
+
+	neighbour := c.neighbourEstimate(observed, known)
+	out := make([]float64, c.n)
+	for j := 0; j < c.n; j++ {
+		if known[j] {
+			out[j] = observed[j]
+			continue
+		}
+		qj := c.q.Data[j*r : (j+1)*r]
+		v := Dot(u, qj)
+		if !c.cfg.unbounded {
+			v = clamp(v, c.cfg.MinVal, c.cfg.MaxVal)
+		}
+		// Blend the latent-factor prediction with the neighbourhood
+		// estimate; the latter dominates because it can only produce
+		// pressure values actually seen in training.
+		out[j] = 0.3*v + 0.7*neighbour[j]
+	}
+	return out
+}
+
+// neighbourEstimate predicts every column as the similarity-weighted mean
+// of the training rows nearest to the observation on its known coordinates.
+// Weights follow a Gaussian kernel on the RMS distance, so close rows
+// dominate and far rows contribute nothing.
+func (c *Completer) neighbourEstimate(observed []float64, known []bool) []float64 {
+	const kernelWidth = 12.0 // pressure points
+	est := make([]float64, c.n)
+	wsum := 0.0
+	for i := 0; i < c.train.Rows; i++ {
+		d, k := 0.0, 0
+		for j := 0; j < c.n; j++ {
+			if !known[j] {
+				continue
+			}
+			diff := observed[j] - c.train.At(i, j)
+			d += diff * diff
+			k++
+		}
+		if k == 0 {
+			continue
+		}
+		rms := d / float64(k)
+		w := gaussKernel(rms, kernelWidth)
+		if w == 0 {
+			continue
+		}
+		wsum += w
+		for j := 0; j < c.n; j++ {
+			est[j] += w * c.train.At(i, j)
+		}
+	}
+	if wsum == 0 {
+		// Nothing nearby (or nothing known): fall back to column means.
+		for j := 0; j < c.n; j++ {
+			sum := 0.0
+			for i := 0; i < c.train.Rows; i++ {
+				sum += c.train.At(i, j)
+			}
+			if c.train.Rows > 0 {
+				est[j] = sum / float64(c.train.Rows)
+			}
+		}
+		return est
+	}
+	for j := 0; j < c.n; j++ {
+		est[j] /= wsum
+	}
+	return est
+}
+
+// gaussKernel returns exp(−rms²/(2w²)) given the squared RMS distance,
+// cutting off to exactly zero for far rows.
+func gaussKernel(rmsSquared, width float64) float64 {
+	x := rmsSquared / (2 * width * width)
+	if x > 30 {
+		return 0
+	}
+	return math.Exp(-x)
+}
+
+// Predict returns the model's reconstruction of training cell (i, j); used
+// by tests to verify the factorisation fits the training data.
+func (c *Completer) Predict(i, j int) float64 {
+	r := c.cfg.Rank
+	v := Dot(c.p.Data[i*r:(i+1)*r], c.q.Data[j*r:(j+1)*r])
+	if !c.cfg.unbounded {
+		v = clamp(v, c.cfg.MinVal, c.cfg.MaxVal)
+	}
+	return v
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,78 @@
+package mining
+
+import "math"
+
+// WeightedMean returns the σ-weighted mean of u: m(u;σ) = Σσᵢuᵢ / Σσᵢ.
+func WeightedMean(u, sigma []float64) float64 {
+	if len(u) != len(sigma) {
+		panic("mining: WeightedMean length mismatch")
+	}
+	num, den := 0.0, 0.0
+	for i := range u {
+		num += sigma[i] * u[i]
+		den += sigma[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// WeightedCov returns the σ-weighted covariance of a and b:
+// cov(a,b;σ) = Σσᵢ(aᵢ−m(a;σ))(bᵢ−m(b;σ)) / Σσᵢ.
+func WeightedCov(a, b, sigma []float64) float64 {
+	if len(a) != len(b) || len(a) != len(sigma) {
+		panic("mining: WeightedCov length mismatch")
+	}
+	ma, mb := WeightedMean(a, sigma), WeightedMean(b, sigma)
+	num, den := 0.0, 0.0
+	for i := range a {
+		num += sigma[i] * (a[i] - ma) * (b[i] - mb)
+		den += sigma[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// WeightedPearson implements Eq. 1 of the paper: the Pearson correlation of
+// two concept-space profiles under singular-value weights, so that stronger
+// similarity concepts count more. It returns a value in [-1, 1]; 0 when
+// either profile has zero weighted variance.
+func WeightedPearson(a, b, sigma []float64) float64 {
+	va := WeightedCov(a, a, sigma)
+	vb := WeightedCov(b, b, sigma)
+	if va <= 0 || vb <= 0 {
+		return 0
+	}
+	r := WeightedCov(a, b, sigma) / math.Sqrt(va*vb)
+	// Numerical safety: keep strictly within [-1, 1].
+	if r > 1 {
+		r = 1
+	}
+	if r < -1 {
+		r = -1
+	}
+	return r
+}
+
+// Pearson is the classic unweighted correlation coefficient, retained for
+// the ablation study that compares it against the weighted form.
+func Pearson(a, b []float64) float64 {
+	ones := make([]float64, len(a))
+	for i := range ones {
+		ones[i] = 1
+	}
+	return WeightedPearson(a, b, ones)
+}
+
+// CosineSimilarity returns the cosine of the angle between a and b, used by
+// the pure-collaborative-filtering ablation baseline.
+func CosineSimilarity(a, b []float64) float64 {
+	na, nb := Norm2(a), Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}

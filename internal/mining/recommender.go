@@ -1,0 +1,356 @@
+package mining
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LabeledProfile is one previously seen workload in the training set: its
+// human-readable label (e.g. "hadoop:svm:L"), the coarse class it belongs to
+// (e.g. "hadoop"), and its dense resource-pressure vector in [0,100].
+type LabeledProfile struct {
+	Label    string
+	Class    string
+	Pressure []float64
+}
+
+// Match is one entry of the similarity distribution the recommender emits.
+type Match struct {
+	Label      string
+	Class      string
+	Similarity float64 // weighted Pearson in [-1, 1]
+}
+
+// Result is the full output of one detection: a dense reconstruction of the
+// victim's resource pressure plus the ranked similarity distribution over
+// the training set.
+type Result struct {
+	Pressure []float64 // completed pressure vector, one entry per resource
+	Matches  []Match   // sorted by decreasing similarity
+}
+
+// Best returns the top match, or a zero Match if the distribution is empty.
+func (r *Result) Best() Match {
+	if len(r.Matches) == 0 {
+		return Match{}
+	}
+	return r.Matches[0]
+}
+
+// Confident reports whether any match clears the paper's 0.1 correlation
+// floor; below it Bolt treats the signal as unseen-or-mixed (§3.3).
+func (r *Result) Confident() bool {
+	return len(r.Matches) > 0 && r.Matches[0].Similarity >= ConfidenceFloor
+}
+
+// ConfidenceFloor is the minimum Pearson coefficient at which Bolt trusts a
+// match (all coefficients below 0.1 trigger re-profiling per §3.3).
+const ConfidenceFloor = 0.1
+
+// RecommenderConfig tunes the hybrid recommender.
+type RecommenderConfig struct {
+	EnergyFraction float64 // singular-value energy to retain; 0 means 0.9
+	Completion     CompletionConfig
+	// Unweighted switches Eq. 1 to the classic Pearson coefficient
+	// (ablation: the paper argues weighting by similarity-concept strength
+	// preserves which resources matter for each workload).
+	Unweighted bool
+	// PureCF disables the content-based stage and ranks by latent-factor
+	// cosine similarity alone (ablation: CF cannot label victims).
+	PureCF bool
+}
+
+// Recommender is Bolt's hybrid recommender (§3.2): SVD over the
+// (column-centred) training matrix identifies similarity concepts; SGD
+// PQ-completion recovers the victim's unprofiled resources; weighted Pearson
+// correlation in concept space ranks previously seen workloads by
+// similarity. Centring makes the similarity concepts capture variation
+// across workloads rather than the grand mean, which would otherwise absorb
+// nearly all singular-value energy and collapse the concept space to rank 1.
+type Recommender struct {
+	cfg      RecommenderConfig
+	profiles []LabeledProfile
+	svd      *SVD      // truncated to the energy rank
+	means    []float64 // per-resource column means of the training matrix
+	weights  []float64 // per-resource Eq. 1 weights: Σₖ σₖ·|V[j][k]|
+	complete *Completer
+	concepts [][]float64 // per-training-app concept-space coordinates
+	n        int         // resource count
+}
+
+// minConceptRank is the fewest similarity concepts the recommender retains.
+// Pearson correlation over very few coordinates is degenerate (with two it
+// is always ±1, and it stays poorly conditioned below about five), so the
+// 90%-energy rule is floored here. The σ weights already suppress weak
+// concepts, so retaining a few extra acts as a soft truncation.
+const minConceptRank = 5
+
+// NewRecommender trains the recommender on the given profiles. All profiles
+// must share the same pressure-vector length. It panics on an empty or
+// ragged training set, since a recommender without training data is a
+// programming error rather than a runtime condition.
+func NewRecommender(profiles []LabeledProfile, cfg RecommenderConfig) *Recommender {
+	if len(profiles) == 0 {
+		panic("mining: empty training set")
+	}
+	n := len(profiles[0].Pressure)
+	rows := make([][]float64, len(profiles))
+	for i, p := range profiles {
+		if len(p.Pressure) != n {
+			panic(fmt.Sprintf("mining: profile %q has %d resources, want %d",
+				p.Label, len(p.Pressure), n))
+		}
+		rows[i] = p.Pressure
+	}
+	if cfg.EnergyFraction == 0 {
+		cfg.EnergyFraction = 0.9
+	}
+	if cfg.Completion.MaxVal == 0 {
+		cfg.Completion.MaxVal = 100
+	}
+
+	train := FromRows(rows)
+	means := make([]float64, n)
+	for j := 0; j < n; j++ {
+		sum := 0.0
+		for i := 0; i < train.Rows; i++ {
+			sum += train.At(i, j)
+		}
+		means[j] = sum / float64(train.Rows)
+	}
+	centred := train.Clone()
+	for i := 0; i < centred.Rows; i++ {
+		for j := 0; j < n; j++ {
+			centred.Set(i, j, centred.At(i, j)-means[j])
+		}
+	}
+
+	full := ComputeSVD(centred)
+	rank := full.EnergyRank(cfg.EnergyFraction)
+	if rank < minConceptRank {
+		rank = minConceptRank
+	}
+	r := &Recommender{
+		cfg:      cfg,
+		profiles: append([]LabeledProfile(nil), profiles...),
+		svd:      full.Truncate(rank),
+		means:    means,
+		complete: NewCompleter(train, cfg.Completion),
+		n:        n,
+	}
+	r.concepts = make([][]float64, len(profiles))
+	for i := range profiles {
+		r.concepts[i] = r.project(profiles[i].Pressure)
+	}
+	r.weights = make([]float64, n)
+	for j := 0; j < n; j++ {
+		for k, s := range r.svd.Sigma {
+			v := r.svd.V.At(j, k)
+			if v < 0 {
+				v = -v
+			}
+			r.weights[j] += s * v
+		}
+		// Never let a weight hit zero: an uninformative resource still
+		// participates slightly, keeping the covariance well defined.
+		if r.weights[j] < 1e-9 {
+			r.weights[j] = 1e-9
+		}
+	}
+	return r
+}
+
+// project centres a pressure vector and maps it into concept space.
+func (r *Recommender) project(pressure []float64) []float64 {
+	x := make([]float64, r.n)
+	for j := range x {
+		x[j] = pressure[j] - r.means[j]
+	}
+	return r.svd.Project(x)
+}
+
+// ResourceCount returns the length of pressure vectors this recommender
+// expects.
+func (r *Recommender) ResourceCount() int { return r.n }
+
+// TrainingProfiles returns the training set the recommender was built on
+// (shared slice contents; treat as read-only).
+func (r *Recommender) TrainingProfiles() []LabeledProfile { return r.profiles }
+
+// Rank returns the number of similarity concepts retained after the
+// energy-based truncation.
+func (r *Recommender) Rank() int { return len(r.svd.Sigma) }
+
+// Sigma returns a copy of the retained singular values (similarity-concept
+// strengths, decreasing).
+func (r *Recommender) Sigma() []float64 {
+	return append([]float64(nil), r.svd.Sigma...)
+}
+
+// ConceptResourceLoading returns |V[resource][concept]|, how strongly each
+// resource participates in each retained similarity concept. The paper uses
+// this to argue which resources leak the most information (§3.2).
+func (r *Recommender) ConceptResourceLoading() *Matrix {
+	out := NewMatrix(r.svd.V.Rows, len(r.svd.Sigma))
+	for i := 0; i < out.Rows; i++ {
+		for k := 0; k < out.Cols; k++ {
+			v := r.svd.V.At(i, k)
+			if v < 0 {
+				v = -v
+			}
+			out.Set(i, k, v)
+		}
+	}
+	return out
+}
+
+// ResourceValue returns a per-resource "information value" score: the sum
+// over retained concepts of σₖ·|V[j][k]|, normalised to max 1. Resources
+// with high scores are the ones whose isolation the paper says should be
+// prioritised.
+func (r *Recommender) ResourceValue() []float64 {
+	val := make([]float64, r.n)
+	for j := 0; j < r.n; j++ {
+		for k, s := range r.svd.Sigma {
+			v := r.svd.V.At(j, k)
+			if v < 0 {
+				v = -v
+			}
+			val[j] += s * v
+		}
+	}
+	maxv := 0.0
+	for _, v := range val {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	if maxv > 0 {
+		for j := range val {
+			val[j] /= maxv
+		}
+	}
+	return val
+}
+
+// Detect runs the full pipeline on a sparse profiling observation:
+// completion of the missing resources, then similarity ranking against
+// every training profile. Directly measured resources carry more weight in
+// the match than completed (inferred) ones, since the latter inherit the
+// training set's biases.
+func (r *Recommender) Detect(observed []float64, known []bool) *Result {
+	dense := r.complete.Complete(observed, known)
+	return r.detect(dense, known)
+}
+
+// measuredBoost is the weight multiplier a directly profiled resource gets
+// over an inferred one in the similarity computation.
+const measuredBoost = 4.0
+
+// proximityScale sets how quickly the proximity factor decays with the
+// weighted RMS pressure distance between two profiles (in pressure
+// percentage points).
+const proximityScale = 25.0
+
+// proximity returns exp(-wrmse/proximityScale) for the weighted RMS
+// distance between two profiles; weights nil means uniform.
+func proximity(a, b, weights []float64) float64 {
+	num, den := 0.0, 0.0
+	for j := range a {
+		w := 1.0
+		if weights != nil {
+			w = weights[j]
+		}
+		d := a[j] - b[j]
+		num += w * d * d
+		den += w
+	}
+	if den == 0 {
+		return 1
+	}
+	return math.Exp(-math.Sqrt(num/den) / proximityScale)
+}
+
+// DetectDense ranks a fully observed pressure vector against the training
+// set without the completion step.
+//
+// The content-based stage applies Eq. 1's weighted Pearson correlation to
+// the resource-space profiles, with per-resource weights derived from the
+// retained similarity concepts (σₖ·|V[j][k]| summed over concepts): the
+// resources that participate in strong similarity concepts count more, so
+// the application-specific information about which resources matter is
+// preserved — the paper's stated reason for rejecting the traditional
+// unweighted coefficient.
+func (r *Recommender) DetectDense(pressure []float64) *Result {
+	return r.detect(pressure, nil)
+}
+
+// detect ranks pressure against the training profiles; known (optional)
+// marks which entries were directly measured and should dominate the match.
+func (r *Recommender) detect(pressure []float64, known []bool) *Result {
+	if len(pressure) != r.n {
+		panic("mining: DetectDense length mismatch")
+	}
+	res := &Result{
+		Pressure: append([]float64(nil), pressure...),
+		Matches:  make([]Match, len(r.profiles)),
+	}
+	weights := r.weights
+	if known != nil {
+		weights = append([]float64(nil), r.weights...)
+		for j, k := range known {
+			if k {
+				weights[j] *= measuredBoost
+			}
+		}
+	}
+	var u []float64
+	if r.cfg.PureCF {
+		u = r.project(pressure)
+	}
+	// Centre by the training column means so that magnitude differences
+	// become pattern differences: Pearson alone is scale-invariant and
+	// cannot tell two profiles of the same shape at different intensities
+	// apart, but "above-average LLC" vs "below-average LLC" anti-correlate
+	// once centred — the same effect Eq. 1 gets from correlating in the
+	// concept space of the centred SVD.
+	centred := make([]float64, r.n)
+	for j := range centred {
+		centred[j] = pressure[j] - r.means[j]
+	}
+	// The content-based stage also exploits the contextual information the
+	// correlation discards — how close the two profiles are in absolute
+	// pressure. Two workloads with proportionally similar shapes but very
+	// different intensities are not the same application; the proximity
+	// factor (in (0, 1]) suppresses such matches while leaving near-copies
+	// untouched.
+	prof := make([]float64, r.n)
+	for i, p := range r.profiles {
+		for j := range prof {
+			prof[j] = p.Pressure[j] - r.means[j]
+		}
+		var sim float64
+		switch {
+		case r.cfg.PureCF:
+			sim = CosineSimilarity(u, r.concepts[i])
+		case r.cfg.Unweighted:
+			sim = Pearson(centred, prof) * proximity(pressure, p.Pressure, nil)
+		default:
+			sim = WeightedPearson(centred, prof, weights) * proximity(pressure, p.Pressure, weights)
+		}
+		res.Matches[i] = Match{Label: p.Label, Class: p.Class, Similarity: sim}
+	}
+	sort.SliceStable(res.Matches, func(i, j int) bool {
+		return res.Matches[i].Similarity > res.Matches[j].Similarity
+	})
+	if r.cfg.PureCF {
+		// Pure collaborative filtering cannot assign labels (§3.2): it only
+		// clusters. Blank the labels so downstream accuracy metrics reflect
+		// the paper's argument that CF alone is insufficient.
+		for i := range res.Matches {
+			res.Matches[i].Label = ""
+		}
+	}
+	return res
+}

@@ -1,0 +1,298 @@
+package mining
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bolt/internal/stats"
+)
+
+func TestWeightedMean(t *testing.T) {
+	u := []float64{1, 2, 3}
+	sigma := []float64{1, 1, 1}
+	if m := WeightedMean(u, sigma); !almostEq(m, 2, 1e-12) {
+		t.Fatalf("uniform WeightedMean = %v, want 2", m)
+	}
+	sigma = []float64{0, 0, 1}
+	if m := WeightedMean(u, sigma); !almostEq(m, 3, 1e-12) {
+		t.Fatalf("point-mass WeightedMean = %v, want 3", m)
+	}
+}
+
+func TestWeightedMeanZeroWeights(t *testing.T) {
+	if WeightedMean([]float64{1, 2}, []float64{0, 0}) != 0 {
+		t.Fatal("zero-weight mean should be 0")
+	}
+}
+
+func TestWeightedPearsonSelf(t *testing.T) {
+	a := []float64{1, 5, 3, 2}
+	sigma := []float64{4, 3, 2, 1}
+	if r := WeightedPearson(a, a, sigma); !almostEq(r, 1, 1e-12) {
+		t.Fatalf("self-correlation = %v, want 1", r)
+	}
+}
+
+func TestWeightedPearsonAntiCorrelated(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{3, 2, 1}
+	sigma := []float64{1, 1, 1}
+	if r := WeightedPearson(a, b, sigma); !almostEq(r, -1, 1e-12) {
+		t.Fatalf("anti-correlation = %v, want -1", r)
+	}
+}
+
+func TestWeightedPearsonConstantVector(t *testing.T) {
+	a := []float64{2, 2, 2}
+	b := []float64{1, 5, 9}
+	if r := WeightedPearson(a, b, []float64{1, 1, 1}); r != 0 {
+		t.Fatalf("constant-vector correlation = %v, want 0", r)
+	}
+}
+
+func TestWeightedPearsonMatchesUnweightedWithUniformSigma(t *testing.T) {
+	rng := stats.NewRNG(41)
+	a := make([]float64, 6)
+	b := make([]float64, 6)
+	ones := make([]float64, 6)
+	for i := range a {
+		a[i] = rng.Range(0, 10)
+		b[i] = rng.Range(0, 10)
+		ones[i] = 1
+	}
+	if w, u := WeightedPearson(a, b, ones), Pearson(a, b); !almostEq(w, u, 1e-12) {
+		t.Fatalf("uniform-weight Pearson %v != classic %v", w, u)
+	}
+}
+
+func TestWeightedPearsonBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 2 + rng.Intn(10)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		sigma := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Range(-100, 100)
+			b[i] = rng.Range(-100, 100)
+			sigma[i] = rng.Range(0.01, 10)
+		}
+		r := WeightedPearson(a, b, sigma)
+		return r >= -1 && r <= 1 && !math.IsNaN(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedPearsonSymmetric(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 3 + rng.Intn(8)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		sigma := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Range(0, 100)
+			b[i] = rng.Range(0, 100)
+			sigma[i] = rng.Range(0.1, 5)
+		}
+		return almostEq(WeightedPearson(a, b, sigma), WeightedPearson(b, a, sigma), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	if c := CosineSimilarity([]float64{1, 0}, []float64{0, 1}); c != 0 {
+		t.Fatalf("orthogonal cosine = %v, want 0", c)
+	}
+	if c := CosineSimilarity([]float64{2, 2}, []float64{1, 1}); !almostEq(c, 1, 1e-12) {
+		t.Fatalf("parallel cosine = %v, want 1", c)
+	}
+	if c := CosineSimilarity([]float64{0, 0}, []float64{1, 1}); c != 0 {
+		t.Fatal("zero-vector cosine should be 0")
+	}
+}
+
+// synthTrain builds a small synthetic training set with three clearly
+// distinct resource archetypes plus within-class variation.
+func synthTrain(rng *stats.RNG) []LabeledProfile {
+	base := map[string][]float64{
+		// 10 resources: L1i L1d L2 LLC memC memBW CPU netBW diskC diskBW
+		"memcached": {90, 60, 30, 80, 40, 50, 35, 60, 0, 0},
+		"hadoop":    {30, 40, 35, 40, 50, 45, 70, 40, 80, 75},
+		"spark":     {40, 55, 40, 70, 85, 90, 60, 30, 20, 15},
+	}
+	var out []LabeledProfile
+	for class, b := range base {
+		for v := 0; v < 8; v++ {
+			p := make([]float64, len(b))
+			for i, x := range b {
+				p[i] = stats.Clamp(x+rng.Norm(0, 4), 0, 100)
+			}
+			out = append(out, LabeledProfile{
+				Label:    class + ":variant",
+				Class:    class,
+				Pressure: p,
+			})
+		}
+	}
+	return out
+}
+
+func TestCompleterFitsTraining(t *testing.T) {
+	rng := stats.NewRNG(7)
+	profiles := synthTrain(rng)
+	rows := make([][]float64, len(profiles))
+	for i, p := range profiles {
+		rows[i] = p.Pressure
+	}
+	train := FromRows(rows)
+	c := NewCompleter(train, CompletionConfig{MaxVal: 100, Seed: 1})
+	// Reconstruction error on training cells should be modest.
+	sumErr, cells := 0.0, 0
+	for i := 0; i < train.Rows; i++ {
+		for j := 0; j < train.Cols; j++ {
+			sumErr += math.Abs(c.Predict(i, j) - train.At(i, j))
+			cells++
+		}
+	}
+	if mae := sumErr / float64(cells); mae > 8 {
+		t.Fatalf("training MAE = %v, want < 8", mae)
+	}
+}
+
+func TestCompleterRecoversMissing(t *testing.T) {
+	rng := stats.NewRNG(8)
+	profiles := synthTrain(rng)
+	rows := make([][]float64, len(profiles))
+	for i, p := range profiles {
+		rows[i] = p.Pressure
+	}
+	c := NewCompleter(FromRows(rows), CompletionConfig{MaxVal: 100, Seed: 2})
+
+	// Observe only three entries of a fresh memcached-like profile; the
+	// completion should predict near-zero disk pressure (memcached's
+	// signature) rather than the column mean.
+	truth := []float64{88, 62, 28, 78, 42, 52, 33, 58, 2, 1}
+	known := []bool{true, false, false, true, false, true, false, false, false, false}
+	dense := c.Complete(truth, known)
+	for j, k := range known {
+		if k && dense[j] != truth[j] {
+			t.Fatalf("known entry %d overwritten: %v != %v", j, dense[j], truth[j])
+		}
+	}
+	if dense[8] > 40 || dense[9] > 40 {
+		t.Fatalf("disk pressure should be recovered as low: %v, %v", dense[8], dense[9])
+	}
+	for j, v := range dense {
+		if v < 0 || v > 100 {
+			t.Fatalf("completed value %d out of range: %v", j, v)
+		}
+	}
+}
+
+func TestRecommenderRanksCorrectClass(t *testing.T) {
+	rng := stats.NewRNG(9)
+	profiles := synthTrain(rng)
+	rec := NewRecommender(profiles, RecommenderConfig{})
+
+	victim := []float64{89, 58, 31, 79, 41, 49, 36, 61, 1, 0} // memcached-like
+	res := rec.DetectDense(victim)
+	if res.Best().Class != "memcached" {
+		t.Fatalf("best match class = %q, want memcached (matches: %v)",
+			res.Best().Class, res.Matches[:3])
+	}
+	if !res.Confident() {
+		t.Fatalf("clean signal should be confident: best sim %v", res.Best().Similarity)
+	}
+}
+
+func TestRecommenderSparseDetection(t *testing.T) {
+	rng := stats.NewRNG(10)
+	profiles := synthTrain(rng)
+	rec := NewRecommender(profiles, RecommenderConfig{})
+
+	victim := []float64{42, 53, 38, 72, 83, 88, 62, 28, 18, 14} // spark-like
+	known := make([]bool, 10)
+	known[0], known[3], known[5] = true, true, true // L1i, LLC, memBW probes
+	res := rec.Detect(victim, known)
+	if res.Best().Class != "spark" {
+		t.Fatalf("sparse detection class = %q, want spark", res.Best().Class)
+	}
+	if len(res.Pressure) != 10 {
+		t.Fatal("completed pressure vector has wrong length")
+	}
+}
+
+func TestRecommenderMatchesSorted(t *testing.T) {
+	rng := stats.NewRNG(11)
+	rec := NewRecommender(synthTrain(rng), RecommenderConfig{})
+	res := rec.DetectDense([]float64{50, 50, 50, 50, 50, 50, 50, 50, 50, 50})
+	for i := 1; i < len(res.Matches); i++ {
+		if res.Matches[i].Similarity > res.Matches[i-1].Similarity {
+			t.Fatal("matches not sorted by decreasing similarity")
+		}
+	}
+}
+
+func TestRecommenderPureCFHasNoLabels(t *testing.T) {
+	rng := stats.NewRNG(12)
+	rec := NewRecommender(synthTrain(rng), RecommenderConfig{PureCF: true})
+	res := rec.DetectDense([]float64{89, 58, 31, 79, 41, 49, 36, 61, 1, 0})
+	for _, m := range res.Matches {
+		if m.Label != "" {
+			t.Fatal("pure CF should not assign labels")
+		}
+	}
+}
+
+func TestRecommenderEnergyRankRespondsToConfig(t *testing.T) {
+	rng := stats.NewRNG(13)
+	profiles := synthTrain(rng)
+	low := NewRecommender(profiles, RecommenderConfig{EnergyFraction: 0.5})
+	high := NewRecommender(profiles, RecommenderConfig{EnergyFraction: 0.9999})
+	if low.Rank() > high.Rank() {
+		t.Fatalf("rank should grow with energy fraction: %d vs %d", low.Rank(), high.Rank())
+	}
+}
+
+func TestRecommenderResourceValueNormalised(t *testing.T) {
+	rng := stats.NewRNG(14)
+	rec := NewRecommender(synthTrain(rng), RecommenderConfig{})
+	val := rec.ResourceValue()
+	if len(val) != 10 {
+		t.Fatal("ResourceValue length wrong")
+	}
+	maxSeen := 0.0
+	for _, v := range val {
+		if v < 0 || v > 1 {
+			t.Fatalf("resource value out of [0,1]: %v", v)
+		}
+		if v > maxSeen {
+			maxSeen = v
+		}
+	}
+	if !almostEq(maxSeen, 1, 1e-12) {
+		t.Fatalf("max resource value = %v, want 1", maxSeen)
+	}
+}
+
+func TestRecommenderEmptyTrainingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty training set did not panic")
+		}
+	}()
+	NewRecommender(nil, RecommenderConfig{})
+}
+
+func TestResultBestEmpty(t *testing.T) {
+	r := &Result{}
+	if r.Best().Label != "" || r.Confident() {
+		t.Fatal("empty result should have zero Best and not be confident")
+	}
+}

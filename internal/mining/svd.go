@@ -1,0 +1,194 @@
+package mining
+
+import (
+	"math"
+	"sort"
+)
+
+// SVD holds a thin singular value decomposition A = U Σ Vᵀ. U is m×r, V is
+// n×r, and Sigma holds the r singular values in decreasing order. Bolt uses
+// the singular values as "similarity concepts": large values correspond to
+// strong cross-application correlations (e.g. compute intensity, coupled
+// network+disk traffic), and the rows of U are the per-application
+// coordinates in concept space.
+type SVD struct {
+	U     *Matrix   // left singular vectors, one row per application
+	Sigma []float64 // singular values, decreasing
+	V     *Matrix   // right singular vectors, one row per resource
+}
+
+// ComputeSVD returns the thin SVD of a via the one-sided Jacobi method,
+// which is simple, numerically robust, and more than fast enough for the
+// small matrices Bolt works with (hundreds of applications × ten resources).
+func ComputeSVD(a *Matrix) *SVD {
+	m, n := a.Rows, a.Cols
+	if m == 0 || n == 0 {
+		return &SVD{U: NewMatrix(m, 0), V: NewMatrix(n, 0)}
+	}
+
+	// Work on columns of A; accumulate rotations into V.
+	w := a.Clone()
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+
+	const (
+		eps      = 1e-12
+		maxSweep = 60
+	)
+	for sweep := 0; sweep < maxSweep; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				alpha, beta, gamma := 0.0, 0.0, 0.0
+				for i := 0; i < m; i++ {
+					wp, wq := w.At(i, p), w.At(i, q)
+					alpha += wp * wp
+					beta += wq * wq
+					gamma += wp * wq
+				}
+				if math.Abs(gamma) <= eps*math.Sqrt(alpha*beta) {
+					continue
+				}
+				off += gamma * gamma
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					wp, wq := w.At(i, p), w.At(i, q)
+					w.Set(i, p, c*wp-s*wq)
+					w.Set(i, q, s*wp+c*wq)
+				}
+				for i := 0; i < n; i++ {
+					vp, vq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if off < eps {
+			break
+		}
+	}
+
+	// Column norms of the rotated matrix are the singular values.
+	type sv struct {
+		val float64
+		col int
+	}
+	svs := make([]sv, n)
+	for j := 0; j < n; j++ {
+		ss := 0.0
+		for i := 0; i < m; i++ {
+			ss += w.At(i, j) * w.At(i, j)
+		}
+		svs[j] = sv{math.Sqrt(ss), j}
+	}
+	sort.Slice(svs, func(i, j int) bool { return svs[i].val > svs[j].val })
+
+	r := 0
+	for _, s := range svs {
+		if s.val > eps {
+			r++
+		}
+	}
+	out := &SVD{U: NewMatrix(m, r), Sigma: make([]float64, r), V: NewMatrix(n, r)}
+	for k := 0; k < r; k++ {
+		s := svs[k]
+		out.Sigma[k] = s.val
+		for i := 0; i < m; i++ {
+			out.U.Set(i, k, w.At(i, s.col)/s.val)
+		}
+		for i := 0; i < n; i++ {
+			out.V.Set(i, k, v.At(i, s.col))
+		}
+	}
+	return out
+}
+
+// EnergyRank returns the smallest r such that the top r singular values
+// preserve at least the given fraction of total energy: Σ_{i<r} σᵢ² ≥
+// fraction · Σ σᵢ². The paper keeps 90% of the energy. It always returns at
+// least 1 when any singular values exist.
+func (s *SVD) EnergyRank(fraction float64) int {
+	if len(s.Sigma) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, sv := range s.Sigma {
+		total += sv * sv
+	}
+	if total == 0 {
+		return 1
+	}
+	cum := 0.0
+	for i, sv := range s.Sigma {
+		cum += sv * sv
+		if cum >= fraction*total {
+			return i + 1
+		}
+	}
+	return len(s.Sigma)
+}
+
+// Truncate returns a copy of the decomposition keeping only the first r
+// singular values / vectors (dimensionality reduction).
+func (s *SVD) Truncate(r int) *SVD {
+	if r > len(s.Sigma) {
+		r = len(s.Sigma)
+	}
+	t := &SVD{
+		U:     NewMatrix(s.U.Rows, r),
+		Sigma: make([]float64, r),
+		V:     NewMatrix(s.V.Rows, r),
+	}
+	copy(t.Sigma, s.Sigma[:r])
+	for i := 0; i < s.U.Rows; i++ {
+		for k := 0; k < r; k++ {
+			t.U.Set(i, k, s.U.At(i, k))
+		}
+	}
+	for i := 0; i < s.V.Rows; i++ {
+		for k := 0; k < r; k++ {
+			t.V.Set(i, k, s.V.At(i, k))
+		}
+	}
+	return t
+}
+
+// Reconstruct returns U Σ Vᵀ.
+func (s *SVD) Reconstruct() *Matrix {
+	m, n, r := s.U.Rows, s.V.Rows, len(s.Sigma)
+	out := NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for k := 0; k < r; k++ {
+				sum += s.U.At(i, k) * s.Sigma[k] * s.V.At(j, k)
+			}
+			out.Set(i, j, sum)
+		}
+	}
+	return out
+}
+
+// Project maps a full resource-pressure row x (length n) into the r-dim
+// concept space: u = x V Σ⁻¹. This is how a newly profiled application is
+// placed among previously seen workloads.
+func (s *SVD) Project(x []float64) []float64 {
+	r := len(s.Sigma)
+	u := make([]float64, r)
+	for k := 0; k < r; k++ {
+		if s.Sigma[k] == 0 {
+			continue
+		}
+		sum := 0.0
+		for j := 0; j < s.V.Rows; j++ {
+			sum += x[j] * s.V.At(j, k)
+		}
+		u[k] = sum / s.Sigma[k]
+	}
+	return u
+}

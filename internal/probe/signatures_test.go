@@ -1,0 +1,205 @@
+package probe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bolt/internal/sim"
+	"bolt/internal/stats"
+	"bolt/internal/workload"
+)
+
+func coreVec(l1i, l1d, l2, cpu float64) sim.Vector {
+	var v sim.Vector
+	v.Set(sim.L1I, l1i)
+	v.Set(sim.L1D, l1d)
+	v.Set(sim.L2, l2)
+	v.Set(sim.CPU, cpu)
+	return v
+}
+
+func TestCoreSignaturesPerSibling(t *testing.T) {
+	// 4-core host: adversary on thread 0 of every core; two 2-vCPU victims
+	// on the thread-1 slots with distinct core profiles.
+	s := sim.NewServer("s0", sim.ServerConfig{Cores: 4, ThreadsPerCore: 2})
+	adv := NewAdversary("adv", 4, Config{NoiseSD: 0.001}, stats.NewRNG(1))
+	if err := s.Place(adv.VM); err != nil {
+		t.Fatal(err)
+	}
+	placeVictim(t, s, "cachey", 2, specWith(map[sim.Resource]float64{
+		sim.L1I: 85, sim.L1D: 60, sim.L2: 40, sim.CPU: 30,
+	}))
+	placeVictim(t, s, "compute", 2, specWith(map[sim.Resource]float64{
+		sim.L1I: 25, sim.L1D: 30, sim.L2: 20, sim.CPU: 88,
+	}))
+
+	sigs, ticks := adv.CoreSignatures(s, 0)
+	if ticks <= 0 {
+		t.Fatal("signatures must consume time")
+	}
+	if len(sigs) != 2 {
+		t.Fatalf("got %d signatures, want 2 distinct siblings", len(sigs))
+	}
+	// One signature should be cache-flavoured, the other compute-flavoured.
+	var sawCache, sawCompute bool
+	for _, sig := range sigs {
+		if sig.Get(sim.L1I) > 70 && sig.Get(sim.CPU) < 50 {
+			sawCache = true
+		}
+		if sig.Get(sim.CPU) > 70 && sig.Get(sim.L1I) < 50 {
+			sawCompute = true
+		}
+	}
+	if !sawCache || !sawCompute {
+		t.Fatalf("signatures do not separate the two siblings: %v", sigs)
+	}
+}
+
+func TestCoreSignaturesSameVMMerged(t *testing.T) {
+	// One victim spanning both sibling slots: its two per-core signatures
+	// are nearly identical and must merge into one.
+	s := sim.NewServer("s0", sim.ServerConfig{Cores: 2, ThreadsPerCore: 2})
+	adv := NewAdversary("adv", 2, Config{NoiseSD: 0.001}, stats.NewRNG(2))
+	if err := s.Place(adv.VM); err != nil {
+		t.Fatal(err)
+	}
+	placeVictim(t, s, "wide", 2, specWith(map[sim.Resource]float64{
+		sim.L1I: 70, sim.L1D: 55, sim.L2: 35, sim.CPU: 60,
+	}))
+	sigs, _ := adv.CoreSignatures(s, 0)
+	if len(sigs) != 1 {
+		t.Fatalf("one victim on two cores should yield 1 merged signature, got %d", len(sigs))
+	}
+}
+
+func TestCoreSignaturesEmptyHost(t *testing.T) {
+	s := sim.NewServer("s0", sim.ServerConfig{})
+	adv := NewAdversary("adv", 4, Config{NoiseSD: 0.001}, stats.NewRNG(3))
+	if err := s.Place(adv.VM); err != nil {
+		t.Fatal(err)
+	}
+	sigs, _ := adv.CoreSignatures(s, 0)
+	if len(sigs) != 0 {
+		t.Fatalf("empty host should yield no signatures, got %v", sigs)
+	}
+}
+
+func TestMergeSignaturesAverages(t *testing.T) {
+	a := coreVec(80, 60, 40, 30)
+	b := coreVec(84, 56, 44, 34) // within merge distance of a
+	merged := MergeSignatures([]sim.Vector{a}, []sim.Vector{b})
+	if len(merged) != 1 {
+		t.Fatalf("near-identical signatures should merge, got %d", len(merged))
+	}
+	if got := merged[0].Get(sim.L1I); math.Abs(got-82) > 1e-9 {
+		t.Fatalf("merged L1-i = %v, want 82 (average)", got)
+	}
+}
+
+func TestMergeSignaturesKeepsDistinct(t *testing.T) {
+	a := coreVec(80, 60, 40, 30)
+	b := coreVec(20, 25, 15, 85)
+	merged := MergeSignatures([]sim.Vector{a}, []sim.Vector{b})
+	if len(merged) != 2 {
+		t.Fatalf("distinct signatures must not merge, got %d", len(merged))
+	}
+}
+
+func TestMergeSignaturesNilSafe(t *testing.T) {
+	if got := MergeSignatures(nil, nil); len(got) != 0 {
+		t.Fatal("nil merge should be empty")
+	}
+	one := []sim.Vector{coreVec(50, 40, 30, 20)}
+	if got := MergeSignatures(nil, one); len(got) != 1 {
+		t.Fatal("nil + one should be one")
+	}
+}
+
+// Property: dedup never increases the signature count and every output is
+// within bounds.
+func TestPropDedupSignatures(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := rng.Intn(8)
+		sigs := make([]sim.Vector, n)
+		for i := range sigs {
+			sigs[i] = coreVec(rng.Range(0, 100), rng.Range(0, 100),
+				rng.Range(0, 100), rng.Range(0, 100))
+		}
+		out := MergeSignatures(nil, sigs)
+		if len(out) > n {
+			return false
+		}
+		for _, sig := range out {
+			for _, r := range sim.CoreResources() {
+				if sig.Get(r) < 0 || sig.Get(r) > 100 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the ramp estimate tracks the true pressure within quantisation
+// plus noise for a full-size adversary.
+func TestPropRampTracksPressure(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		truth := rng.Range(10, 90)
+		s := sim.NewServer("s0", sim.ServerConfig{})
+		adv := NewAdversary("adv", 4, Config{NoiseSD: 0.001}, rng.Split())
+		if err := s.Place(adv.VM); err != nil {
+			return true
+		}
+		spec := specWith(map[sim.Resource]float64{sim.MemBW: truth})
+		app := workload.NewApp(spec, workload.Constant{Level: 1}, seed)
+		if err := s.Place(&sim.VM{ID: "v", VCPUs: 4, App: app}); err != nil {
+			return true
+		}
+		m := adv.Ramp(s, sim.MemBW, 0)
+		return math.Abs(m.Pressure-truth) <= 6 // step 4 quantisation + margin
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileUncoreAll(t *testing.T) {
+	s := sim.NewServer("s0", sim.ServerConfig{})
+	adv := NewAdversary("adv", 4, Config{NoiseSD: 0.001}, stats.NewRNG(5))
+	if err := s.Place(adv.VM); err != nil {
+		t.Fatal(err)
+	}
+	p := adv.ProfileUncore(s, 0, nil)
+	for _, r := range sim.UncoreResources() {
+		if !p.Known[r] {
+			t.Fatalf("ProfileUncore(nil) should measure %v", r)
+		}
+	}
+	// Core resources must never appear.
+	for _, r := range sim.CoreResources() {
+		if p.Known[r] {
+			t.Fatalf("ProfileUncore must skip core resource %v", r)
+		}
+	}
+}
+
+func TestProfileUncoreFiltersCore(t *testing.T) {
+	s := sim.NewServer("s0", sim.ServerConfig{})
+	adv := NewAdversary("adv", 4, Config{NoiseSD: 0.001}, stats.NewRNG(6))
+	if err := s.Place(adv.VM); err != nil {
+		t.Fatal(err)
+	}
+	p := adv.ProfileUncore(s, 0, []sim.Resource{sim.L1I, sim.NetBW})
+	if p.Known[sim.L1I] {
+		t.Fatal("core resource in the request must be ignored")
+	}
+	if !p.Known[sim.NetBW] {
+		t.Fatal("requested uncore resource must be measured")
+	}
+}

@@ -1,0 +1,454 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tick is the simulator's time unit. TickDur is its wall-clock meaning; the
+// paper's probes run for a few hundred milliseconds each, so one tick is
+// 100 ms throughout the repository.
+type Tick int64
+
+// TickMillis is the wall-clock duration of one tick in milliseconds.
+const TickMillis = 100
+
+// TicksPerSecond converts between ticks and seconds.
+const TicksPerSecond = 1000 / TickMillis
+
+// Seconds returns the tick count as seconds.
+func (t Tick) Seconds() float64 { return float64(t) / TicksPerSecond }
+
+// Demander is the behaviour a VM exposes to the host: the pressure it puts
+// on every shared resource at a given time (as a percentage of the host's
+// capacity for that resource) and its sensitivity to contention on each
+// resource (0-1). Application models in internal/workload implement it.
+type Demander interface {
+	Demand(t Tick) Vector
+	Sensitivity() Vector
+}
+
+// Slot identifies one hyperthread: physical core index and thread index
+// within the core.
+type Slot struct {
+	Core, Thread int
+}
+
+// VM is one virtual machine (or container, or baremetal process — the
+// platform distinction lives in internal/isolation) placed on a server.
+type VM struct {
+	ID    string
+	VCPUs int
+	App   Demander
+
+	slots []Slot
+}
+
+// Slots returns the hyperthread slots assigned to the VM.
+func (vm *VM) Slots() []Slot {
+	return append([]Slot(nil), vm.slots...)
+}
+
+// Cores returns the set of physical core indices the VM occupies.
+func (vm *VM) Cores() map[int]bool {
+	cores := make(map[int]bool, len(vm.slots))
+	for _, s := range vm.slots {
+		cores[s.Core] = true
+	}
+	return cores
+}
+
+// ServerConfig describes a physical host. The defaults model the paper's
+// testbed: 8 physical cores, 2-way hyperthreading.
+type ServerConfig struct {
+	Cores          int // physical cores; 0 means 8
+	ThreadsPerCore int // hyperthreads per core; 0 means 2
+	// Visibility attenuates the contention observable (and felt) on each
+	// resource, 0-1. Isolation mechanisms lower entries; the zero value is
+	// replaced with full visibility (all ones).
+	Visibility *Vector
+	// DedicatedCores forbids two VMs from sharing a physical core (the
+	// paper's "core isolation" defence, §6).
+	DedicatedCores bool
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Cores == 0 {
+		c.Cores = 8
+	}
+	if c.ThreadsPerCore == 0 {
+		c.ThreadsPerCore = 2
+	}
+	if c.Visibility == nil {
+		var v Vector
+		for i := range v {
+			v[i] = 1
+		}
+		c.Visibility = &v
+	}
+	return c
+}
+
+// Server is one physical host: a hyperthread topology plus the set of VMs
+// placed on it. It is the substrate probes measure against and attacks run
+// on. Server is not safe for concurrent use.
+type Server struct {
+	cfg  ServerConfig
+	name string
+	vms  []*VM
+	// free[i] is true when hyperthread slot i (core i/tpc, thread i%tpc) is
+	// unoccupied.
+	free []bool
+}
+
+// ErrNoCapacity is returned when a VM cannot be placed on a server.
+var ErrNoCapacity = errors.New("sim: insufficient vCPU capacity")
+
+// NewServer returns an empty server with the given configuration.
+func NewServer(name string, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:  cfg,
+		name: name,
+		free: make([]bool, cfg.Cores*cfg.ThreadsPerCore),
+	}
+	for i := range s.free {
+		s.free[i] = true
+	}
+	return s
+}
+
+// Name returns the server's identifier.
+func (s *Server) Name() string { return s.name }
+
+// Config returns the server's configuration.
+func (s *Server) Config() ServerConfig { return s.cfg }
+
+// TotalVCPUs returns the host's hyperthread count.
+func (s *Server) TotalVCPUs() int { return s.cfg.Cores * s.cfg.ThreadsPerCore }
+
+// FreeVCPUs returns the number of unassigned hyperthreads.
+func (s *Server) FreeVCPUs() int {
+	n := 0
+	for _, f := range s.free {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// VMs returns the VMs currently placed on the server.
+func (s *Server) VMs() []*VM {
+	return append([]*VM(nil), s.vms...)
+}
+
+// Lookup returns the VM with the given ID, or nil.
+func (s *Server) Lookup(id string) *VM {
+	for _, vm := range s.vms {
+		if vm.ID == id {
+			return vm
+		}
+	}
+	return nil
+}
+
+func (s *Server) slotIndex(sl Slot) int {
+	return sl.Core*s.cfg.ThreadsPerCore + sl.Thread
+}
+
+func (s *Server) slotAt(i int) Slot {
+	return Slot{Core: i / s.cfg.ThreadsPerCore, Thread: i % s.cfg.ThreadsPerCore}
+}
+
+// Place assigns hyperthread slots to the VM and adds it to the server.
+// Placement policy: hyperthreads of one VM are packed onto as few physical
+// cores as possible (matching how cloud providers expose paired vCPUs), and
+// no hyperthread is ever shared between two VMs — the paper notes 1 vCPU is
+// the minimum dedicated unit in public clouds. Under DedicatedCores a VM is
+// only placed on cores none of whose threads belong to another VM, and the
+// whole core is reserved.
+func (s *Server) Place(vm *VM) error {
+	if vm.VCPUs <= 0 {
+		return fmt.Errorf("sim: VM %q has %d vCPUs", vm.ID, vm.VCPUs)
+	}
+	if s.Lookup(vm.ID) != nil {
+		return fmt.Errorf("sim: VM %q already placed on %s", vm.ID, s.name)
+	}
+	tpc := s.cfg.ThreadsPerCore
+
+	var chosen []int
+	if s.cfg.DedicatedCores {
+		// Reserve whole cores: ceil(vcpus / tpc) fully free cores.
+		coresNeeded := (vm.VCPUs + tpc - 1) / tpc
+		for core := 0; core < s.cfg.Cores && coresNeeded > 0; core++ {
+			allFree := true
+			for th := 0; th < tpc; th++ {
+				if !s.free[core*tpc+th] {
+					allFree = false
+					break
+				}
+			}
+			if !allFree {
+				continue
+			}
+			for th := 0; th < tpc; th++ {
+				chosen = append(chosen, core*tpc+th)
+			}
+			coresNeeded--
+		}
+		if coresNeeded > 0 {
+			return ErrNoCapacity
+		}
+	} else {
+		// Breadth-first over cores: fill thread 0 of every core before any
+		// thread 1, the way OS and hypervisor schedulers spread runnable
+		// vCPUs to maximise per-thread throughput. As the host fills up,
+		// later VMs land on the second hyperthreads of earlier VMs' cores —
+		// which is exactly why hyperthread co-residency with strangers is
+		// the norm in multi-tenant clouds (§3.4).
+		for th := 0; th < tpc && len(chosen) < vm.VCPUs; th++ {
+			for core := 0; core < s.cfg.Cores && len(chosen) < vm.VCPUs; core++ {
+				if i := core*tpc + th; s.free[i] {
+					chosen = append(chosen, i)
+				}
+			}
+		}
+		if len(chosen) < vm.VCPUs {
+			return ErrNoCapacity
+		}
+	}
+
+	vm.slots = vm.slots[:0]
+	for _, i := range chosen {
+		s.free[i] = false
+		if !s.cfg.DedicatedCores || len(vm.slots) < vm.VCPUs {
+			vm.slots = append(vm.slots, s.slotAt(i))
+		}
+	}
+	// Under DedicatedCores extra reserved threads stay marked used but are
+	// not listed as VM slots; they are simply burned capacity (the paper's
+	// utilisation penalty).
+	s.vms = append(s.vms, vm)
+	return nil
+}
+
+// Remove detaches the VM with the given ID, freeing its slots (and, under
+// DedicatedCores, the rest of each reserved core). It reports whether a VM
+// was removed.
+func (s *Server) Remove(id string) bool {
+	for i, vm := range s.vms {
+		if vm.ID != id {
+			continue
+		}
+		for _, sl := range vm.slots {
+			if s.cfg.DedicatedCores {
+				for th := 0; th < s.cfg.ThreadsPerCore; th++ {
+					s.free[sl.Core*s.cfg.ThreadsPerCore+th] = true
+				}
+			} else {
+				s.free[s.slotIndex(sl)] = true
+			}
+		}
+		vm.slots = nil
+		s.vms = append(s.vms[:i], s.vms[i+1:]...)
+		return true
+	}
+	return false
+}
+
+// SharesCore reports whether the two VMs occupy hyperthreads of at least one
+// common physical core.
+func (s *Server) SharesCore(a, b *VM) bool {
+	if a == nil || b == nil || a == b {
+		return false
+	}
+	cores := a.Cores()
+	for _, sl := range b.slots {
+		if cores[sl.Core] {
+			return true
+		}
+	}
+	return false
+}
+
+// CoreNeighbors returns the co-resident VMs sharing at least one physical
+// core with vm.
+func (s *Server) CoreNeighbors(vm *VM) []*VM {
+	var out []*VM
+	for _, other := range s.vms {
+		if other != vm && s.SharesCore(vm, other) {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// CacheSpillFactor returns how strongly an application's memory traffic
+// responds to losing last-level-cache capacity: a cache-resident workload
+// (high LLC pressure, modest streaming bandwidth) converts squeezed cache
+// into extra DRAM traffic almost one-for-one, while a streaming workload is
+// already missing and barely changes. This is the physical effect behind
+// miss-ratio curves, and the signal the §3.3 future-work extension (per-job
+// cache miss rate curves) exploits.
+func CacheSpillFactor(d Vector) float64 {
+	llc, bw := d.Get(LLC), d.Get(MemBW)
+	if llc == 0 {
+		return 0
+	}
+	return llc / (llc + bw + 20)
+}
+
+// spillScale converts squeezed-cache pressure into extra observed memory
+// bandwidth (dimensionless; <1 because some misses hit deeper caches or
+// get amortised by prefetching).
+const spillScale = 0.4
+
+// ObservedPressure returns the contention a probe inside observer sees on
+// resource r at time t: the (approximately additive, §3.3) sum of the
+// co-residents' demand, attenuated by the host's isolation visibility. Core
+// resources are visible only from VMs sharing a physical core with the
+// source of the pressure; uncore resources are visible host-wide.
+//
+// Memory bandwidth carries a second-order term: when the observer itself
+// occupies LLC capacity, the co-residents' miss rates rise and their DRAM
+// traffic grows in proportion to their cache-spill factors — the coupling
+// the miss-ratio-curve probe measures.
+func (s *Server) ObservedPressure(observer *VM, r Resource, t Tick) float64 {
+	squeeze := 0.0
+	if r == MemBW && observer != nil {
+		squeeze = observer.App.Demand(t).Get(LLC) / 100 * s.cfg.Visibility.Get(LLC)
+	}
+	total := 0.0
+	for _, vm := range s.vms {
+		if vm == observer {
+			continue
+		}
+		if r.IsCore() && !s.SharesCore(observer, vm) {
+			continue
+		}
+		demand := vm.App.Demand(t)
+		total += demand.Get(r)
+		if squeeze > 0 {
+			total += demand.Get(LLC) * CacheSpillFactor(demand) * squeeze * spillScale
+		}
+	}
+	total *= s.cfg.Visibility.Get(r)
+	if total > 100 {
+		total = 100
+	}
+	return total
+}
+
+// VMsOnCore returns the VMs other than observer holding a hyperthread of
+// the given physical core.
+func (s *Server) VMsOnCore(observer *VM, coreIdx int) []*VM {
+	var out []*VM
+	for _, vm := range s.vms {
+		if vm == observer {
+			continue
+		}
+		for _, sl := range vm.slots {
+			if sl.Core == coreIdx {
+				out = append(out, vm)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ObservedCorePressure returns the contention a probe pinned to the given
+// physical core sees on core-private resource r: only the sibling
+// hyperthreads of that specific core contribute. Because no hyperthread is
+// shared between VMs, this signal belongs to (at most) one co-resident per
+// core — the property §3.3 exploits to measure core pressure accurately in
+// a mixture.
+func (s *Server) ObservedCorePressure(observer *VM, coreIdx int, r Resource, t Tick) float64 {
+	if !r.IsCore() {
+		return s.ObservedPressure(observer, r, t)
+	}
+	total := 0.0
+	for _, vm := range s.VMsOnCore(observer, coreIdx) {
+		total += vm.App.Demand(t).Get(r)
+	}
+	total *= s.cfg.Visibility.Get(r)
+	if total > 100 {
+		total = 100
+	}
+	return total
+}
+
+// ObservedVector returns ObservedPressure for every resource at once.
+func (s *Server) ObservedVector(observer *VM, t Tick) Vector {
+	var v Vector
+	for _, r := range AllResources() {
+		v.Set(r, s.ObservedPressure(observer, r, t))
+	}
+	return v
+}
+
+// Interference returns, for each resource, the contention pressure the
+// victim experiences from all co-residents (core resources only from
+// core-sharing neighbours), attenuated by isolation visibility. This is the
+// input to the slowdown and latency models.
+func (s *Server) Interference(victim *VM, t Tick) Vector {
+	return s.ObservedVector(victim, t)
+}
+
+// Slowdown returns the victim's execution-time dilation factor (≥1) at time
+// t under the host's current co-residents. For each resource the demand
+// beyond capacity is charged to the victim in proportion to its sensitivity;
+// contention on the victim's critical resources therefore hurts far more
+// than the same contention elsewhere — the asymmetry Bolt's DoS attack
+// exploits (§5.1).
+func (s *Server) Slowdown(victim *VM, t Tick) float64 {
+	return SlowdownFor(victim.App.Demand(t), victim.App.Sensitivity(), s.Interference(victim, t))
+}
+
+// SlowdownFor is the contention arithmetic behind Server.Slowdown, exposed
+// so reactive workload models can evaluate it against a hypothetical
+// demand without re-entering the server.
+func SlowdownFor(demand, sens, interference Vector) float64 {
+	slow := 1.0
+	for _, r := range AllResources() {
+		overload := demand.Get(r) + interference.Get(r) - 100
+		if overload <= 0 {
+			continue
+		}
+		slow += sens.Get(r) * overload / 100 * slowdownWeight(r)
+	}
+	return slow
+}
+
+// slowdownWeight scales how much saturating each resource costs. Cache and
+// memory contention dominate execution-time impact on the paper's
+// workloads; capacity resources degrade more gently until exhausted.
+func slowdownWeight(r Resource) float64 {
+	switch r {
+	case L1I, L1D, LLC:
+		return 4
+	case L2:
+		return 2
+	case MemBW, CPU:
+		return 3
+	case NetBW, DiskBW:
+		return 2.5
+	case MemCap, DiskCap:
+		return 1.5
+	}
+	return 1
+}
+
+// CPUUtilization returns the host's aggregate CPU usage in percent at time
+// t — the signal a migration-triggering DoS defence watches (§5.1).
+func (s *Server) CPUUtilization(t Tick) float64 {
+	total := 0.0
+	for _, vm := range s.vms {
+		total += vm.App.Demand(t).Get(CPU)
+	}
+	if total > 100 {
+		total = 100
+	}
+	return total
+}

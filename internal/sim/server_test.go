@@ -1,0 +1,404 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// fixedApp is a Demander with constant demand and sensitivity.
+type fixedApp struct {
+	demand Vector
+	sens   Vector
+}
+
+func (f fixedApp) Demand(Tick) Vector  { return f.demand }
+func (f fixedApp) Sensitivity() Vector { return f.sens }
+
+func vec(vals map[Resource]float64) Vector {
+	var v Vector
+	for r, x := range vals {
+		v.Set(r, x)
+	}
+	return v
+}
+
+func newVM(id string, vcpus int, demand Vector) *VM {
+	var sens Vector
+	for i := range demand {
+		sens[i] = demand[i] / 100
+	}
+	return &VM{ID: id, VCPUs: vcpus, App: fixedApp{demand: demand, sens: sens}}
+}
+
+func TestResourceString(t *testing.T) {
+	if L1I.String() != "L1-i" || DiskBW.String() != "DiskBW" {
+		t.Fatal("resource names wrong")
+	}
+	if Resource(99).String() != "Resource(99)" {
+		t.Fatal("out-of-range name wrong")
+	}
+}
+
+func TestCoreUncorePartition(t *testing.T) {
+	core, uncore := CoreResources(), UncoreResources()
+	if len(core)+len(uncore) != NumResources {
+		t.Fatal("core + uncore must cover all resources")
+	}
+	for _, r := range core {
+		if !r.IsCore() {
+			t.Fatalf("%v should be core", r)
+		}
+	}
+	for _, r := range uncore {
+		if r.IsCore() {
+			t.Fatalf("%v should be uncore", r)
+		}
+	}
+}
+
+func TestVectorClamping(t *testing.T) {
+	var v Vector
+	v.Set(CPU, 150)
+	v.Set(LLC, -10)
+	if v.Get(CPU) != 100 || v.Get(LLC) != 0 {
+		t.Fatal("Set should clamp to [0,100]")
+	}
+}
+
+func TestVectorAddScale(t *testing.T) {
+	a := vec(map[Resource]float64{CPU: 60, LLC: 70})
+	b := vec(map[Resource]float64{CPU: 60, MemBW: 30})
+	sum := a.Add(b)
+	if sum.Get(CPU) != 100 || sum.Get(LLC) != 70 || sum.Get(MemBW) != 30 {
+		t.Fatalf("Add wrong: %v", sum)
+	}
+	half := a.Scale(0.5)
+	if half.Get(CPU) != 30 || half.Get(LLC) != 35 {
+		t.Fatalf("Scale wrong: %v", half)
+	}
+}
+
+func TestVectorDominantTopK(t *testing.T) {
+	v := vec(map[Resource]float64{L1I: 80, LLC: 95, MemBW: 60})
+	if v.Dominant() != LLC {
+		t.Fatalf("Dominant = %v, want LLC", v.Dominant())
+	}
+	top := v.TopK(3)
+	if top[0] != LLC || top[1] != L1I || top[2] != MemBW {
+		t.Fatalf("TopK = %v", top)
+	}
+}
+
+func TestVectorSliceRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		var v Vector
+		x := seed
+		for i := range v {
+			x = x*6364136223846793005 + 1442695040888963407
+			v[i] = float64(uint64(x) % 101)
+		}
+		return FromSlice(v.Slice()) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickSeconds(t *testing.T) {
+	if Tick(10).Seconds() != 1 {
+		t.Fatalf("10 ticks should be 1 s, got %v", Tick(10).Seconds())
+	}
+}
+
+func TestPlaceAndCapacity(t *testing.T) {
+	s := NewServer("s0", ServerConfig{})
+	if s.TotalVCPUs() != 16 {
+		t.Fatalf("default server should have 16 vCPUs, got %d", s.TotalVCPUs())
+	}
+	vm := newVM("a", 4, Vector{})
+	if err := s.Place(vm); err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeVCPUs() != 12 {
+		t.Fatalf("FreeVCPUs = %d, want 12", s.FreeVCPUs())
+	}
+	if len(vm.Slots()) != 4 {
+		t.Fatalf("VM got %d slots, want 4", len(vm.Slots()))
+	}
+	// Breadth-first placement spreads 4 hyperthreads over 4 cores.
+	if len(vm.Cores()) != 4 {
+		t.Fatalf("VM spans %d cores, want 4", len(vm.Cores()))
+	}
+}
+
+func TestPlaceOverCapacity(t *testing.T) {
+	s := NewServer("s0", ServerConfig{Cores: 2, ThreadsPerCore: 2})
+	if err := s.Place(newVM("a", 5, Vector{})); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("want ErrNoCapacity, got %v", err)
+	}
+	if len(s.VMs()) != 0 {
+		t.Fatal("failed placement must not register the VM")
+	}
+}
+
+func TestPlaceDuplicateID(t *testing.T) {
+	s := NewServer("s0", ServerConfig{})
+	if err := s.Place(newVM("a", 1, Vector{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(newVM("a", 1, Vector{})); err == nil {
+		t.Fatal("duplicate ID placement should fail")
+	}
+}
+
+func TestPlaceZeroVCPUs(t *testing.T) {
+	s := NewServer("s0", ServerConfig{})
+	if err := s.Place(newVM("a", 0, Vector{})); err == nil {
+		t.Fatal("zero-vCPU placement should fail")
+	}
+}
+
+func TestRemoveFreesSlots(t *testing.T) {
+	s := NewServer("s0", ServerConfig{})
+	vm := newVM("a", 6, Vector{})
+	if err := s.Place(vm); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Remove("a") {
+		t.Fatal("Remove returned false")
+	}
+	if s.FreeVCPUs() != 16 {
+		t.Fatalf("slots not freed: %d free", s.FreeVCPUs())
+	}
+	if s.Remove("a") {
+		t.Fatal("second Remove should return false")
+	}
+}
+
+func TestSharesCore(t *testing.T) {
+	// Breadth-first on a 2-core host: a→(0,0), b→(1,0), c→(0,1)+(1,1).
+	s := NewServer("s0", ServerConfig{Cores: 2, ThreadsPerCore: 2})
+	a := newVM("a", 1, Vector{})
+	b := newVM("b", 1, Vector{})
+	c := newVM("c", 2, Vector{})
+	for _, vm := range []*VM{a, b, c} {
+		if err := s.Place(vm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.SharesCore(a, b) {
+		t.Fatal("a and b sit on different cores")
+	}
+	if !s.SharesCore(a, c) || !s.SharesCore(b, c) {
+		t.Fatal("c's second hyperthreads share cores with a and b")
+	}
+	if s.SharesCore(a, a) {
+		t.Fatal("a VM does not share a core with itself")
+	}
+	neighbors := s.CoreNeighbors(a)
+	if len(neighbors) != 1 || neighbors[0] != c {
+		t.Fatalf("CoreNeighbors(a) = %v", neighbors)
+	}
+}
+
+func TestDedicatedCoresPlacement(t *testing.T) {
+	s := NewServer("s0", ServerConfig{Cores: 4, ThreadsPerCore: 2, DedicatedCores: true})
+	a := newVM("a", 3, Vector{}) // needs 2 whole cores (4 threads reserved)
+	if err := s.Place(a); err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeVCPUs() != 4 {
+		t.Fatalf("dedicated placement should reserve whole cores: %d free, want 4", s.FreeVCPUs())
+	}
+	b := newVM("b", 1, Vector{})
+	if err := s.Place(b); err != nil {
+		t.Fatal(err)
+	}
+	if s.SharesCore(a, b) {
+		t.Fatal("dedicated cores must never be shared")
+	}
+	// Remaining whole core is taken; a 3-vCPU VM no longer fits.
+	if err := s.Place(newVM("c", 3, Vector{})); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("want ErrNoCapacity, got %v", err)
+	}
+}
+
+func TestObservedPressureCoreVsUncore(t *testing.T) {
+	s := NewServer("s0", ServerConfig{})
+	adv := newVM("adv", 2, Vector{}) // core 0
+	victim := newVM("v", 2, vec(map[Resource]float64{
+		L1I: 80, LLC: 70, MemBW: 50,
+	})) // core 1: no shared core with adv
+	if err := s.Place(adv); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(victim); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ObservedPressure(adv, L1I, 0); got != 0 {
+		t.Fatalf("core pressure across cores should be invisible, got %v", got)
+	}
+	if got := s.ObservedPressure(adv, LLC, 0); got != 70 {
+		t.Fatalf("LLC pressure = %v, want 70", got)
+	}
+	if got := s.ObservedPressure(adv, MemBW, 0); got != 50 {
+		t.Fatalf("MemBW pressure = %v, want 50", got)
+	}
+}
+
+func TestObservedPressureSharedCore(t *testing.T) {
+	// A single-core host forces the two VMs onto sibling hyperthreads.
+	s := NewServer("s0", ServerConfig{Cores: 1, ThreadsPerCore: 2})
+	adv := newVM("adv", 1, Vector{})
+	victim := newVM("v", 1, vec(map[Resource]float64{L1I: 80}))
+	if err := s.Place(adv); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(victim); err != nil {
+		t.Fatal(err)
+	}
+	if !s.SharesCore(adv, victim) {
+		t.Fatal("test setup: expected shared core")
+	}
+	if got := s.ObservedPressure(adv, L1I, 0); got != 80 {
+		t.Fatalf("shared-core L1I pressure = %v, want 80", got)
+	}
+}
+
+func TestObservedPressureAdditive(t *testing.T) {
+	s := NewServer("s0", ServerConfig{})
+	adv := newVM("adv", 2, Vector{})
+	v1 := newVM("v1", 2, vec(map[Resource]float64{MemBW: 30}))
+	v2 := newVM("v2", 2, vec(map[Resource]float64{MemBW: 45}))
+	for _, vm := range []*VM{adv, v1, v2} {
+		if err := s.Place(vm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.ObservedPressure(adv, MemBW, 0); got != 75 {
+		t.Fatalf("uncore pressure should add: %v, want 75", got)
+	}
+}
+
+func TestObservedPressureClampsAt100(t *testing.T) {
+	s := NewServer("s0", ServerConfig{})
+	adv := newVM("adv", 2, Vector{})
+	v1 := newVM("v1", 2, vec(map[Resource]float64{NetBW: 80}))
+	v2 := newVM("v2", 2, vec(map[Resource]float64{NetBW: 80}))
+	for _, vm := range []*VM{adv, v1, v2} {
+		if err := s.Place(vm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.ObservedPressure(adv, NetBW, 0); got != 100 {
+		t.Fatalf("pressure should clamp at 100, got %v", got)
+	}
+}
+
+func TestVisibilityAttenuates(t *testing.T) {
+	var vis Vector
+	for i := range vis {
+		vis[i] = 1
+	}
+	vis.Set(LLC, 0.2) // cache partitioning
+	s := NewServer("s0", ServerConfig{Visibility: &vis})
+	adv := newVM("adv", 2, Vector{})
+	victim := newVM("v", 2, vec(map[Resource]float64{LLC: 70}))
+	if err := s.Place(adv); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(victim); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ObservedPressure(adv, LLC, 0); got != 14 {
+		t.Fatalf("attenuated LLC pressure = %v, want 14", got)
+	}
+}
+
+func TestSlowdownNeedsOverload(t *testing.T) {
+	s := NewServer("s0", ServerConfig{})
+	victim := newVM("v", 2, vec(map[Resource]float64{LLC: 40}))
+	quiet := newVM("q", 2, vec(map[Resource]float64{LLC: 20}))
+	if err := s.Place(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(quiet); err != nil {
+		t.Fatal(err)
+	}
+	if sd := s.Slowdown(victim, 0); sd != 1 {
+		t.Fatalf("no overload → slowdown 1, got %v", sd)
+	}
+}
+
+func TestSlowdownGrowsWithContention(t *testing.T) {
+	s := NewServer("s0", ServerConfig{})
+	victim := newVM("v", 2, vec(map[Resource]float64{LLC: 70, MemBW: 60}))
+	if err := s.Place(victim); err != nil {
+		t.Fatal(err)
+	}
+	light := newVM("l", 2, vec(map[Resource]float64{LLC: 40}))
+	if err := s.Place(light); err != nil {
+		t.Fatal(err)
+	}
+	sdLight := s.Slowdown(victim, 0)
+	s.Remove("l")
+	heavy := newVM("h", 2, vec(map[Resource]float64{LLC: 90, MemBW: 90}))
+	if err := s.Place(heavy); err != nil {
+		t.Fatal(err)
+	}
+	sdHeavy := s.Slowdown(victim, 0)
+	if !(sdHeavy > sdLight && sdLight > 1) {
+		t.Fatalf("slowdown ordering wrong: light=%v heavy=%v", sdLight, sdHeavy)
+	}
+}
+
+func TestSlowdownRespectsSensitivity(t *testing.T) {
+	s := NewServer("s0", ServerConfig{})
+	demand := vec(map[Resource]float64{LLC: 70})
+	sensitive := &VM{ID: "sens", VCPUs: 2, App: fixedApp{
+		demand: demand,
+		sens:   vec(map[Resource]float64{LLC: 100}).Scale(0.01),
+	}}
+	insensitive := &VM{ID: "ins", VCPUs: 2, App: fixedApp{
+		demand: demand,
+		sens:   Vector{},
+	}}
+	attacker := newVM("atk", 2, vec(map[Resource]float64{LLC: 80}))
+	for _, vm := range []*VM{sensitive, insensitive, attacker} {
+		if err := s.Place(vm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Slowdown(insensitive, 0) != 1 {
+		t.Fatal("zero sensitivity should mean no slowdown")
+	}
+	if s.Slowdown(sensitive, 0) <= 1 {
+		t.Fatal("sensitive VM should slow down")
+	}
+}
+
+func TestCPUUtilization(t *testing.T) {
+	s := NewServer("s0", ServerConfig{})
+	a := newVM("a", 4, vec(map[Resource]float64{CPU: 30}))
+	b := newVM("b", 4, vec(map[Resource]float64{CPU: 25}))
+	for _, vm := range []*VM{a, b} {
+		if err := s.Place(vm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if u := s.CPUUtilization(0); u != 55 {
+		t.Fatalf("utilization = %v, want 55", u)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s := NewServer("s0", ServerConfig{})
+	vm := newVM("x", 1, Vector{})
+	if err := s.Place(vm); err != nil {
+		t.Fatal(err)
+	}
+	if s.Lookup("x") != vm || s.Lookup("y") != nil {
+		t.Fatal("Lookup misbehaved")
+	}
+}

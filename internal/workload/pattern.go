@@ -1,0 +1,105 @@
+// Package workload models the applications that run on the simulated cloud:
+// a catalog of archetypes (memcached, Hadoop, Spark, Cassandra, SPEC
+// CPU2006, webservers, databases, and the long tail of the user study),
+// each with a per-resource pressure profile, within-class parameter
+// variation, time-varying load patterns, and multi-phase execution. These
+// are the victims Bolt detects and attacks.
+package workload
+
+import (
+	"math"
+
+	"bolt/internal/sim"
+)
+
+// LoadPattern maps time to a load factor in [0, 1] that scales an
+// application's load-dependent resource pressure. Interactive services have
+// diurnal or bursty patterns with low-load windows (which Bolt's shutter
+// profiling exploits, §3.3); batch jobs ramp up and run flat out.
+type LoadPattern interface {
+	Factor(t sim.Tick) float64
+}
+
+// Constant is a flat load pattern.
+type Constant struct {
+	Level float64 // in [0, 1]
+}
+
+// Factor implements LoadPattern.
+func (c Constant) Factor(sim.Tick) float64 { return clamp01(c.Level) }
+
+// Diurnal is a sinusoidal day/night pattern: load oscillates between Min
+// and Max with the given period. Online services in datacenters follow this
+// shape (§3.3).
+type Diurnal struct {
+	Min, Max float64
+	Period   sim.Tick // full cycle length
+	Phase    float64  // fraction of a period to shift, in [0, 1)
+}
+
+// Factor implements LoadPattern.
+func (d Diurnal) Factor(t sim.Tick) float64 {
+	if d.Period <= 0 {
+		return clamp01(d.Max)
+	}
+	x := 2 * math.Pi * (float64(t)/float64(d.Period) + d.Phase)
+	mid := (d.Min + d.Max) / 2
+	amp := (d.Max - d.Min) / 2
+	return clamp01(mid + amp*math.Sin(x))
+}
+
+// Bursty alternates between a high-load and a low-load level, modelling
+// user-interactive services with intermittent idle windows.
+type Bursty struct {
+	OnLevel, OffLevel float64
+	OnTicks, OffTicks sim.Tick
+	Offset            sim.Tick // shifts the cycle start
+}
+
+// Factor implements LoadPattern.
+func (b Bursty) Factor(t sim.Tick) float64 {
+	period := b.OnTicks + b.OffTicks
+	if period <= 0 {
+		return clamp01(b.OnLevel)
+	}
+	pos := (t + b.Offset) % period
+	if pos < 0 {
+		pos += period
+	}
+	if pos < b.OnTicks {
+		return clamp01(b.OnLevel)
+	}
+	return clamp01(b.OffLevel)
+}
+
+// Batch models a batch job: a short ramp-up, a flat steady phase, and an
+// abrupt end after Duration (after which load is zero — the job finished).
+type Batch struct {
+	Ramp     sim.Tick // ticks to reach full load
+	Duration sim.Tick // total lifetime; 0 means endless
+	Level    float64
+}
+
+// Factor implements LoadPattern.
+func (b Batch) Factor(t sim.Tick) float64 {
+	if t < 0 {
+		return 0
+	}
+	if b.Duration > 0 && t >= b.Duration {
+		return 0
+	}
+	if b.Ramp > 0 && t < b.Ramp {
+		return clamp01(b.Level * float64(t) / float64(b.Ramp))
+	}
+	return clamp01(b.Level)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
