@@ -12,6 +12,7 @@
 package main_test
 
 import (
+	"fmt"
 	"sort"
 	"testing"
 
@@ -240,5 +241,43 @@ func BenchmarkTrain(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.Train(specs, core.Config{})
+	}
+}
+
+// BenchmarkTrainCached measures the memoized path: after the first call the
+// suite's ~20 training passes collapse to a fingerprint and a map lookup.
+func BenchmarkTrainCached(b *testing.B) {
+	specs := workload.TrainingSpecs(benchSeed)
+	core.TrainCached(specs, core.Config{}) // prime
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.TrainCached(specs, core.Config{})
+	}
+}
+
+// --- The experiment runner ---
+
+// benchRunner runs the full suite through exper.Run at a given parallelism.
+// Comparing Suite/parallel1 against Suite/parallel4 (or higher) on a
+// multi-core host shows the runner's speedup — the acceptance bar is ≥2x at
+// parallel≥4; on a single-core host the two collapse to the same wall
+// clock. Results are identical at every level, so the comparison is pure
+// scheduling.
+func benchRunner(b *testing.B, parallel int) {
+	b.Helper()
+	exps := exper.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exper.Run(exps, benchSeed, parallel)
+	}
+}
+
+func BenchmarkSuite(b *testing.B) {
+	for _, parallel := range []int{1, 4, 8} {
+		parallel := parallel
+		b.Run(fmt.Sprintf("parallel%d", parallel), func(b *testing.B) {
+			benchRunner(b, parallel)
+		})
 	}
 }

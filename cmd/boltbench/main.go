@@ -3,16 +3,21 @@
 //
 // Usage:
 //
-//	boltbench [-seed N] [-run id[,id...]] [-list]
+//	boltbench [-seed N] [-run id[,id...]] [-parallel N] [-json] [-list]
 //
 // Without -run it executes all experiments in paper order. Experiment IDs
 // match the per-experiment index in DESIGN.md (table1, fig2, ... ablation).
+//
+// Experiments run concurrently (-parallel, default GOMAXPROCS) but reports
+// are buffered and emitted in paper order, so stdout is byte-identical for
+// a given seed at every parallelism level. Timing goes to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,7 +28,9 @@ func main() {
 	seed := flag.Uint64("seed", 42, "experiment seed (all results are deterministic per seed)")
 	run := flag.String("run", "", "comma-separated experiment IDs to run (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
-	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	asJSON := flag.Bool("json", false, "emit one machine-readable JSON document instead of tables")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"max experiments in flight at once (results are identical at any level)")
 	flag.Parse()
 
 	if *list {
@@ -49,21 +56,24 @@ func main() {
 	}
 
 	start := time.Now()
-	for _, e := range selected {
-		t0 := time.Now()
-		rep := e.Run(*seed)
-		if *asJSON {
-			if err := rep.WriteJSON(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "boltbench: %v\n", err)
-				os.Exit(1)
-			}
-			continue
+	results := exper.Run(selected, *seed, *parallel)
+
+	if *asJSON {
+		reports := make([]*exper.Report, len(results))
+		for i, r := range results {
+			reports[i] = r.Report
 		}
-		rep.Render(os.Stdout)
-		fmt.Printf("[%s took %.1fs]\n\n", e.ID, time.Since(t0).Seconds())
+		if err := exper.WriteAllJSON(os.Stdout, *seed, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "boltbench: writing JSON: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
-	if !*asJSON {
-		fmt.Printf("boltbench: %d experiment(s) in %.1fs (seed %d)\n",
-			len(selected), time.Since(start).Seconds(), *seed)
+
+	for _, r := range results {
+		r.Report.Render(os.Stdout)
+		fmt.Fprintf(os.Stderr, "[%s took %.1fs]\n", r.Experiment.ID, r.Elapsed.Seconds())
 	}
+	fmt.Fprintf(os.Stderr, "boltbench: %d experiment(s) in %.1fs (seed %d, parallel %d)\n",
+		len(selected), time.Since(start).Seconds(), *seed, *parallel)
 }

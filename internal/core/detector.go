@@ -55,6 +55,14 @@ func (c Config) withDefaults() Config {
 
 // Detector is a trained Bolt instance: the hybrid recommender plus the
 // profiling policy. One Detector serves any number of adversary VMs.
+//
+// A Detector is immutable once Train returns: the recommender, the
+// completer, and the byLabel lookup are built in full during training and
+// only read afterwards (Detect, NewEpisode, and Tracker keep all mutable
+// episode state outside the Detector). It is therefore safe for concurrent
+// use by any number of goroutines — the parallel experiment runner and the
+// TrainCached memo depend on this property; anything added to Detector must
+// preserve it or take a lock.
 type Detector struct {
 	Rec *mining.Recommender
 	cfg Config
@@ -173,7 +181,15 @@ func LabelMatches(detected, truth string) bool {
 		if len(dp) < 2 || len(tp) < 2 {
 			return false
 		}
-		return readMostly(dp[1]) == readMostly(tp[1])
+		dr, dok := readRatio(dp[1])
+		tr, tok := readRatio(tp[1])
+		if !dok || !tok {
+			// A malformed ratio token carries no load-mix information, so
+			// it can never support a match — in particular two equally
+			// malformed labels must not "agree" on write-heavy.
+			return false
+		}
+		return (dr >= readMostlyThreshold) == (tr >= readMostlyThreshold)
 	}
 	if len(dp) > 1 && len(tp) > 1 {
 		return dp[1] == tp[1]
@@ -181,16 +197,29 @@ func LabelMatches(detected, truth string) bool {
 	return len(dp) == len(tp) // both class-only labels
 }
 
-// readMostly classifies a memcached rdNN token as read-mostly (≥70% reads).
-func readMostly(tok string) bool {
+// readMostlyThreshold is the read percentage at or above which a memcached
+// load mix counts as read-mostly (§3.4 checks read- vs write-heavy).
+const readMostlyThreshold = 70
+
+// readRatio parses a memcached "rdNN" load token into its read percentage.
+// ok is false for malformed tokens: a missing "rd" prefix, no digits, a
+// non-digit after the prefix, or a value beyond 100 (percentages only).
+func readRatio(tok string) (pct int, ok bool) {
+	digits := strings.TrimPrefix(tok, "rd")
+	if digits == tok || digits == "" {
+		return 0, false
+	}
 	n := 0
-	for _, c := range strings.TrimPrefix(tok, "rd") {
+	for _, c := range digits {
 		if c < '0' || c > '9' {
-			return false
+			return 0, false
 		}
 		n = n*10 + int(c-'0')
+		if n > 100 {
+			return 0, false
+		}
 	}
-	return n >= 70
+	return n, true
 }
 
 // ClassMatches reports whether the detected label's class matches the

@@ -24,9 +24,19 @@ func FuzzLabelMatches(f *testing.F) {
 		if got && ca != cb {
 			t.Fatalf("LabelMatches(%q, %q) crossed the class boundary", a, b)
 		}
-		// Reflexivity for non-empty labels.
+		// Reflexivity for well-formed non-empty labels. A memcached label
+		// with a malformed ratio token is the deliberate exception: it
+		// carries no load-mix information and never matches, itself included.
 		if a != "" && !LabelMatches(a, a) {
-			t.Fatalf("LabelMatches(%q, %q) not reflexive", a, a)
+			parts := strings.SplitN(a, ":", 3)
+			malformedMemcached := parts[0] == "memcached"
+			if len(parts) >= 2 {
+				_, ok := readRatio(parts[1])
+				malformedMemcached = parts[0] == "memcached" && !ok
+			}
+			if !malformedMemcached {
+				t.Fatalf("LabelMatches(%q, %q) not reflexive", a, a)
+			}
 		}
 		// Symmetry of the class test.
 		if ClassMatches(a, cb) && ca != cb {
@@ -35,18 +45,28 @@ func FuzzLabelMatches(f *testing.F) {
 	})
 }
 
-// FuzzReadMostly: arbitrary tokens must parse without panicking and only
-// well-formed rdNN tokens with NN ≥ 70 classify as read-mostly.
-func FuzzReadMostly(f *testing.F) {
+// FuzzReadRatio: arbitrary tokens must parse without panicking; only
+// well-formed rdNN tokens with NN in [0, 100] parse at all, and the parsed
+// percentage must round-trip the digit string.
+func FuzzReadRatio(f *testing.F) {
 	f.Add("rd90")
 	f.Add("rd")
 	f.Add("rd9999999999999999")
 	f.Add("wr50")
 	f.Add("rd-1")
 	f.Fuzz(func(t *testing.T, tok string) {
-		got := readMostly(tok)
-		if got && !strings.HasPrefix(tok, "rd") {
-			t.Fatalf("readMostly(%q) true without the rd prefix", tok)
+		pct, ok := readRatio(tok)
+		if !ok {
+			if pct != 0 {
+				t.Fatalf("readRatio(%q) returned %d with ok=false", tok, pct)
+			}
+			return
+		}
+		if !strings.HasPrefix(tok, "rd") {
+			t.Fatalf("readRatio(%q) ok without the rd prefix", tok)
+		}
+		if pct < 0 || pct > 100 {
+			t.Fatalf("readRatio(%q) = %d outside [0, 100]", tok, pct)
 		}
 	})
 }

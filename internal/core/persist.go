@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"bolt/internal/mining"
 	"bolt/internal/sim"
@@ -65,6 +66,20 @@ func LoadProfiles(r io.Reader, cfg Config) (*Detector, error) {
 		if len(p.Pressure) != sim.NumResources {
 			return nil, fmt.Errorf("core: profile %q has %d resources, want %d",
 				p.Label, len(p.Pressure), sim.NumResources)
+		}
+		// Pressure values are percentages of a resource's capacity. A NaN,
+		// infinity, or out-of-range entry would flow straight into the SVD
+		// and poison every similarity score the detector ever produces, so
+		// reject the file rather than train on it.
+		for j, v := range p.Pressure {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("core: profile %q pressure[%d] is %v, want a finite value in [0,100]",
+					p.Label, j, v)
+			}
+			if v < 0 || v > 100 {
+				return nil, fmt.Errorf("core: profile %q pressure[%d] = %v outside [0,100]",
+					p.Label, j, v)
+			}
 		}
 		specs = append(specs, workload.Spec{
 			Label: p.Label,

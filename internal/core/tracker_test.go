@@ -66,6 +66,42 @@ func TestLoadProfilesRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestLoadProfilesRejectsBadPressure: non-finite or out-of-range pressure
+// values would poison the SVD and every downstream similarity score, so each
+// must be rejected with a descriptive error naming the offending profile.
+func TestLoadProfilesRejectsBadPressure(t *testing.T) {
+	profile := func(pressure string) string {
+		return `{"version": 1, "profiles": [{"label":"x:y","class":"x","pressure":` + pressure + `}]}`
+	}
+	cases := []struct {
+		name, doc string
+	}{
+		{"negative", profile(`[-1,2,3,4,5,6,7,8,9,10]`)},
+		{"above-100", profile(`[1,2,3,4,5,6,7,8,9,100.5]`)},
+		{"huge", profile(`[1,2,3,4,5,6,7,8,9,1e300]`)},
+		// encoding/json rejects bare NaN/Infinity literals at the decode
+		// step; both layers must refuse the file either way.
+		{"nan-literal", profile(`[NaN,2,3,4,5,6,7,8,9,10]`)},
+		{"inf-literal", profile(`[Infinity,2,3,4,5,6,7,8,9,10]`)},
+	}
+	for _, c := range cases {
+		if _, err := LoadProfiles(strings.NewReader(c.doc), Config{}); err == nil {
+			t.Errorf("%s: bad pressure accepted", c.name)
+		} else if !strings.Contains(err.Error(), "core:") {
+			t.Errorf("%s: error %q not descriptive", c.name, err)
+		}
+	}
+}
+
+// TestLoadProfilesBoundaryPressureAccepted: exactly 0 and exactly 100 are
+// legal pressures and must load.
+func TestLoadProfilesBoundaryPressureAccepted(t *testing.T) {
+	doc := `{"version": 1, "profiles": [{"label":"x:y","class":"x","pressure":[0,100,0,100,0,100,0,100,0,100]}]}`
+	if _, err := LoadProfiles(strings.NewReader(doc), Config{}); err != nil {
+		t.Fatalf("boundary pressures rejected: %v", err)
+	}
+}
+
 func TestTrackerRunsOnSchedule(t *testing.T) {
 	d := trainedDetector(t)
 	adv := probe.NewAdversary("adv", 4, probe.Config{}, stats.NewRNG(11))

@@ -23,7 +23,7 @@ func Ablations(seed uint64) *Report {
 		"Variant", "Accuracy", "Note")
 
 	run := func(cfg core.Config, servers, victims int) float64 {
-		det := core.Train(workload.TrainingSpecs(seed), cfg)
+		det := core.TrainCached(workload.TrainingSpecs(seed), cfg)
 		res := RunControlled(ControlledConfig{
 			Seed:     seed,
 			Servers:  servers,

@@ -21,7 +21,7 @@ import (
 func Confusion(seed uint64) *Report {
 	rep := newReport("confusion", "What do misclassified victims get mistaken for?")
 	rng := stats.NewRNG(seed ^ 0xc04f)
-	det := core.Train(workload.TrainingSpecs(seed), core.Config{})
+	det := core.TrainCached(workload.TrainingSpecs(seed), core.Config{})
 
 	const trials = 160
 	victims := workload.VictimSpecs(seed, trials)

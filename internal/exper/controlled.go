@@ -136,7 +136,7 @@ func RunControlled(cfg ControlledConfig) *ControlledResult {
 func runControlled(cfg ControlledConfig, rng *stats.RNG) *ControlledResult {
 	det := cfg.Detector
 	if det == nil {
-		det = core.Train(workload.TrainingSpecs(cfg.Seed), cfg.DetectorCfg)
+		det = core.TrainCached(workload.TrainingSpecs(cfg.Seed), cfg.DetectorCfg)
 	}
 
 	cl := cluster.New(cfg.Servers, cfg.ServerCfg, cfg.Scheduler)

@@ -21,7 +21,7 @@ import (
 func DefenceEvasion(seed uint64) *Report {
 	rep := newReport("defence", "Does Bolt's DoS evade provider-side detection?")
 	rng := stats.NewRNG(seed ^ 0xdefe)
-	det := core.Train(workload.TrainingSpecs(seed), core.Config{})
+	det := core.TrainCached(workload.TrainingSpecs(seed), core.Config{})
 
 	type cellResult struct {
 		alarmed bool

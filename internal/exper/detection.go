@@ -22,7 +22,7 @@ func Table1(seed uint64) *Report {
 
 	// Train once, then run the two scheduler variants concurrently (each
 	// derives all randomness from the shared seed independently).
-	det := core.Train(workload.TrainingSpecs(seed), core.Config{})
+	det := core.TrainCached(workload.TrainingSpecs(seed), core.Config{})
 	var ll, qu *ControlledResult
 	var wg sync.WaitGroup
 	wg.Add(2)

@@ -20,7 +20,7 @@ import (
 // compute intensity and memory bandwidth, with L2 a poor indicator.
 func Insights(seed uint64) *Report {
 	rep := newReport("insights", "Which resources leak the most information")
-	det := core.Train(workload.TrainingSpecs(seed), core.Config{})
+	det := core.TrainCached(workload.TrainingSpecs(seed), core.Config{})
 
 	// Per-resource information value from the similarity concepts.
 	value := det.Rec.ResourceValue()

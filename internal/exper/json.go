@@ -31,6 +31,29 @@ type jsonSeries struct {
 
 // WriteJSON emits the report as a single JSON object.
 func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.toJSON())
+}
+
+// WriteAllJSON emits one JSON document holding the seed and every report,
+// in order. A run's machine-readable output is a single valid document —
+// consumers unmarshal one object rather than splitting a stream of
+// concatenated ones.
+func WriteAllJSON(w io.Writer, seed uint64, reports []*Report) error {
+	doc := struct {
+		Seed    uint64       `json:"seed"`
+		Reports []jsonReport `json:"reports"`
+	}{Seed: seed, Reports: make([]jsonReport, 0, len(reports))}
+	for _, r := range reports {
+		doc.Reports = append(doc.Reports, r.toJSON())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func (r *Report) toJSON() jsonReport {
 	out := jsonReport{
 		ID:      r.ID,
 		Title:   r.Title,
@@ -54,7 +77,5 @@ func (r *Report) WriteJSON(w io.Writer) error {
 			})
 		}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return out
 }

@@ -1,0 +1,62 @@
+package exper
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RunResult is one experiment's finished output.
+type RunResult struct {
+	Experiment Experiment
+	Report     *Report
+	Elapsed    time.Duration
+}
+
+// Run executes the experiments with at most parallel of them in flight at
+// once and returns their results in input order. parallel <= 0 means
+// GOMAXPROCS.
+//
+// Each experiment is a pure function of the seed — it builds its own RNGs
+// and (via core.TrainCached) shares a read-only trained detector — so the
+// results are identical at every parallelism level: running with
+// parallel=8 and parallel=1 yields byte-for-byte the same rendered
+// reports. Only the wall-clock interleaving differs, which is why Elapsed
+// is the sole field a caller must not compare across runs.
+func Run(exps []Experiment, seed uint64, parallel int) []RunResult {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(exps) {
+		parallel = len(exps)
+	}
+	results := make([]RunResult, len(exps))
+	runOne := func(i int) {
+		start := time.Now()
+		rep := exps[i].Run(seed)
+		results[i] = RunResult{Experiment: exps[i], Report: rep, Elapsed: time.Since(start)}
+	}
+	if parallel <= 1 {
+		for i := range exps {
+			runOne(i)
+		}
+		return results
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runOne(i)
+			}
+		}()
+	}
+	for i := range exps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}

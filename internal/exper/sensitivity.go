@@ -20,7 +20,7 @@ func Figure8(seed uint64) *Report {
 	rep := newReport("fig8", "Workload phase detection")
 	rng := stats.NewRNG(seed ^ 0xf168)
 
-	det := core.Train(workload.TrainingSpecs(seed), core.Config{})
+	det := core.TrainCached(workload.TrainingSpecs(seed), core.Config{})
 
 	const phaseSecs = 84 // 5 phases over ~7 minutes
 	phaseDur := sim.Tick(phaseSecs * sim.TicksPerSecond)
@@ -90,7 +90,7 @@ func Figure8(seed uint64) *Report {
 // VM size, and (c) the number of profiling microbenchmarks.
 func Figure10(seed uint64) *Report {
 	rep := newReport("fig10", "Sensitivity analysis")
-	det := core.Train(workload.TrainingSpecs(seed), core.Config{})
+	det := core.TrainCached(workload.TrainingSpecs(seed), core.Config{})
 
 	rep.Figures = append(rep.Figures,
 		fig10aInterval(seed, det, rep),
@@ -206,7 +206,7 @@ func fig10cBenchmarks(seed uint64, det *core.Detector, rep *Report) *trace.Figur
 
 	var xs, ys []float64
 	for _, n := range counts {
-		detN := core.Train(workload.TrainingSpecs(seed), core.Config{
+		detN := core.TrainCached(workload.TrainingSpecs(seed), core.Config{
 			ExtraBench:    maxInt(0, n-2),
 			MaxIterations: 1,
 		})

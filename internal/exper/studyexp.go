@@ -58,7 +58,7 @@ type studyOutcome struct {
 // each job at the detection nearest the middle of its lifetime.
 func runStudy(seed uint64) ([]studyOutcome, *study.Study, []int, [][]int) {
 	s := study.Generate(study.Config{Seed: seed})
-	det := core.Train(workload.TrainingSpecs(seed), core.Config{})
+	det := core.TrainCached(workload.TrainingSpecs(seed), core.Config{})
 	rng := stats.NewRNG(seed ^ 0x57d7)
 
 	// c3.8xlarge-like instances: 32 vCPUs (16 cores × 2), with a 4-vCPU

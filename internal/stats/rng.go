@@ -8,7 +8,10 @@
 // streams on every platform.
 package stats
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a deterministic pseudo-random number generator. The zero value is
 // not ready for use; construct one with NewRNG. RNG is not safe for
@@ -58,11 +61,27 @@ func (r *RNG) Float64() float64 {
 }
 
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
+//
+// Sampling uses Lemire's nearly-divisionless rejection method rather than
+// Uint64() % n: the modulo maps 2^64 inputs onto n buckets, so unless n
+// divides 2^64 the low (2^64 mod n) values occur once more often than the
+// rest — a bias that, while tiny for small n, systematically skews every
+// permutation, weighted choice, and placement decision built on top of it.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("stats: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		// Reject the first (2^64 mod n) values of lo so every bucket of hi
+		// receives exactly the same number of inputs.
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
 }
 
 // Range returns a uniform value in [lo, hi).
