@@ -11,6 +11,10 @@
 // Experiments run concurrently (-parallel, default GOMAXPROCS) but reports
 // are buffered and emitted in paper order, so stdout is byte-identical for
 // a given seed at every parallelism level. Timing goes to stderr.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (the
+// standard `go tool pprof` format); the memory profile is taken after a
+// final GC so it reflects live retained heap, like `go test -memprofile`.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -31,6 +36,8 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit one machine-readable JSON document instead of tables")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"max experiments in flight at once (results are identical at any level)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after final GC) to this file")
 	flag.Parse()
 
 	if *list {
@@ -53,6 +60,39 @@ func main() {
 			}
 			selected = append(selected, e)
 		}
+	}
+
+	// Profiling starts only after flag validation so usage errors exit
+	// without leaving truncated profile files behind.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "boltbench: creating CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "boltbench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "boltbench: creating heap profile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // material allocations only: report live retained heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "boltbench: writing heap profile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
 	}
 
 	start := time.Now()

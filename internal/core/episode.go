@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 
 	"bolt/internal/mining"
 	"bolt/internal/probe"
@@ -20,22 +19,29 @@ type indexScore struct {
 	s float64
 }
 
-// sortEntries orders index/score pairs by ascending score (stable on ties
-// by index for determinism).
+// sortEntries orders index/score pairs by ascending score, ties by
+// ascending index. The comparator is a total order (indices are distinct),
+// so any correct sort produces the exact ordering sort.SliceStable used to
+// — this binary insertion sort does so without the closure and interface
+// allocations, which mattered once the decomposition search became the
+// last allocation site on the episode path. Entry counts are the training
+// catalog size (about a hundred), well inside insertion sort's range.
 func sortEntries(entries []indexScore) {
-	sort.SliceStable(entries, func(a, b int) bool {
-		if entries[a].s != entries[b].s {
-			return entries[a].s < entries[b].s
+	for i := 1; i < len(entries); i++ {
+		x := entries[i]
+		lo, hi := 0, i
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			e := entries[mid]
+			if x.s < e.s || (x.s == e.s && x.i < e.i) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
 		}
-		return entries[a].i < entries[b].i
-	})
-}
-
-// sortByAnchor orders a component set so the best core-anchored one leads.
-func sortByAnchor(idxs []int, coreErr func(int) float64) {
-	sort.SliceStable(idxs, func(a, b int) bool {
-		return coreErr(idxs[a]) < coreErr(idxs[b])
-	})
+		copy(entries[lo+1:i+1], entries[lo:i])
+		entries[lo] = x
+	}
 }
 
 // signal is one accumulated observation stream: running-mean values plus a
@@ -54,11 +60,6 @@ func (g *signal) fold(r sim.Resource, v float64) {
 	g.obs.Set(r, (g.obs.Get(r)*n+v)/(n+1))
 	g.counts[r]++
 	g.known[r] = true
-}
-
-// sparse returns the (observed, known) pair the recommender consumes.
-func (g *signal) sparse() ([]float64, []bool) {
-	return g.obs.Slice(), append([]bool(nil), g.known[:]...)
 }
 
 // knownCount returns how many resources carry a measurement.
@@ -108,6 +109,13 @@ type Episode struct {
 	Ticks       sim.Tick
 	UsedShutter bool
 	CoreShared  bool
+
+	// obsBuf/knownBuf back combined()'s return values, reused across the
+	// episode's iterations. An episode belongs to a single detection flow
+	// (one goroutine), and the recommender only reads the observation
+	// during Detect, so handing out the same buffers each time is safe.
+	obsBuf   []float64
+	knownBuf []bool
 }
 
 // NewEpisode starts a detection episode for the adversary on server s.
@@ -135,19 +143,27 @@ func (e *Episode) merge(p probe.Profile) {
 
 // combined returns the single-victim-hypothesis observation: core and
 // uncore streams merged (the core signal is genuinely the victim's when
-// only one co-resident exists).
+// only one co-resident exists). The returned slices are the episode's
+// reusable buffers — valid until the next combined call, which is exactly
+// the lifetime the Detect calls below need.
 func (e *Episode) combined() ([]float64, []bool) {
-	var merged signal
+	if e.obsBuf == nil {
+		e.obsBuf = make([]float64, sim.NumResources)
+		e.knownBuf = make([]bool, sim.NumResources)
+	}
 	for _, r := range sim.AllResources() {
+		v, k := 0.0, false
 		if r.IsCore() {
 			if e.core.known[r] {
-				merged.fold(r, e.core.obs.Get(r))
+				v, k = e.core.obs.Get(r), true
 			}
 		} else if e.uncore.known[r] {
-			merged.fold(r, e.uncore.obs.Get(r))
+			v, k = e.uncore.obs.Get(r), true
 		}
+		e.obsBuf[r] = v
+		e.knownBuf[r] = k
 	}
-	return merged.sparse()
+	return e.obsBuf, e.knownBuf
 }
 
 // Step runs one profiling iteration starting at the given tick and returns
@@ -278,6 +294,15 @@ func (e *Episode) Candidates(maxVictims int) []*mining.Result {
 	profiles := e.det.Rec.TrainingProfiles()
 	n := len(profiles)
 
+	// Working memory for the whole search, allocated once up front: the
+	// coordinate-descent intensity scalars, the scored-candidate scratch
+	// behind topByScore, and the trial component sets of the greedy
+	// extension and refinement loops below. The search evaluates score()
+	// hundreds of times; before the hoist each evaluation allocated its
+	// own copies.
+	alphaBuf := make([]float64, maxVictims)
+	entriesBuf := make([]indexScore, n)
+
 	// Anchors: one per distinct sibling signature, capped at maxVictims.
 	anchors := e.sigs
 	if len(anchors) > maxVictims {
@@ -295,7 +320,7 @@ func (e *Episode) Candidates(maxVictims int) []*mining.Result {
 			alphaPrior       = 0.85
 			lambda           = 300.0 // regulariser toward the prior
 		)
-		alphas := make([]float64, len(idxs))
+		alphas := alphaBuf[:len(idxs)]
 		for i := range alphas {
 			alphas[i] = alphaPrior
 		}
@@ -458,11 +483,11 @@ func (e *Episode) Candidates(maxVictims int) []*mining.Result {
 	const shortlist = 8
 	anchorLists := make([][]int, len(anchors))
 	for ai, sig := range anchors {
-		anchorLists[ai] = topByScore(n, shortlist, func(i int) float64 {
+		anchorLists[ai] = topByScore(entriesBuf, shortlist, func(i int) float64 {
 			return sigErr(sig, i) + 0.5*sumFitSingleBias(e, profiles, i)
 		})
 	}
-	freeList := topByScore(n, 40, func(i int) float64 {
+	freeList := topByScore(entriesBuf, 40, func(i int) float64 {
 		return sumFitSingleBias(e, profiles, i)
 	})
 	if shutterUseful {
@@ -510,7 +535,7 @@ func (e *Episode) Candidates(maxVictims int) []*mining.Result {
 			}
 			return mathSqrt(err / wsum)
 		}
-		freeList = append(topByScore(n, 10, diffErr), freeList...)
+		freeList = append(topByScore(entriesBuf, 10, diffErr), freeList...)
 	}
 
 	// Initial set: the best shortlist entry per anchor.
@@ -532,11 +557,12 @@ func (e *Episode) Candidates(maxVictims int) []*mining.Result {
 	if len(anchors) == 0 {
 		accept = 0.45
 	}
+	trial := make([]int, 0, maxVictims)
 	for len(set) < maxVictims {
 		extBest, extScore := -1, bestScore
 		for _, i := range freeList {
-			s := score(append(append([]int(nil), set...), i))
-			if s < extScore {
+			trial = append(append(trial[:0], set...), i)
+			if s := score(trial); s < extScore {
 				extBest, extScore = i, s
 			}
 		}
@@ -548,7 +574,10 @@ func (e *Episode) Candidates(maxVictims int) []*mining.Result {
 	}
 
 	// Coordinate-descent refinement: revisit each slot against its
-	// shortlist (anchored) or the free list (unanchored), two passes.
+	// shortlist (anchored) or the free list (unanchored), two passes. The
+	// trial buffer is re-filled from set each time, and an improvement is
+	// copied back rather than swapped in, so set never aliases the buffer
+	// the next trial overwrites.
 	for pass := 0; pass < 2; pass++ {
 		for si := range set {
 			candidatesFor := freeList
@@ -556,10 +585,11 @@ func (e *Episode) Candidates(maxVictims int) []*mining.Result {
 				candidatesFor = anchorLists[si]
 			}
 			for _, alt := range candidatesFor {
-				trial := append([]int(nil), set...)
+				trial = append(trial[:0], set...)
 				trial[si] = alt
 				if s := score(trial); s < bestScore {
-					set, bestScore = trial, s
+					copy(set, trial)
+					bestScore = s
 				}
 			}
 		}
@@ -608,9 +638,13 @@ func sumFitSingleBias(e *Episode, profiles []mining.LabeledProfile, i int) float
 	return mathSqrt(err / wsum)
 }
 
-// topByScore returns the indices of the k smallest scores among [0, n).
-func topByScore(n, k int, score func(int) float64) []int {
-	entries := make([]indexScore, n)
+// topByScore returns the indices of the k smallest scores among
+// [0, len(entries)), using entries as scratch so callers evaluating
+// several score functions over the same index range share one buffer.
+// The returned shortlist is freshly allocated: callers hold several
+// shortlists at once.
+func topByScore(entries []indexScore, k int, score func(int) float64) []int {
+	n := len(entries)
 	for i := 0; i < n; i++ {
 		entries[i] = indexScore{i, score(i)}
 	}

@@ -15,6 +15,23 @@ import (
 	"bolt/internal/workload"
 )
 
+// attackPlanConfig is the detector configuration for experiments that set
+// contention-kernel intensities directly from the completed pressure vector
+// (PlanDoS targets each critical resource at pressure + headroom). Those raw
+// floats flow on into the latency simulation and out into the report, so the
+// emitted bytes are sensitive to the completion solve at machine precision.
+// The convergence-gated fold-in lands within 2⁻⁴⁸ of the fixed-sweep
+// solution — far below anything the simulation resolves — but the suite's
+// regression contract is byte-identical output across runs and code
+// changes, so these experiments pin the historical fixed sweep count.
+// TrainCached keys on the resolved config, so this costs one extra cached
+// training pass; every other experiment keeps the gated fast path.
+func attackPlanConfig() core.Config {
+	return core.Config{Recommender: mining.RecommenderConfig{
+		Completion: mining.CompletionConfig{FixedFoldIn: true},
+	}}
+}
+
 // Figure13 reproduces Fig. 13: the p99 latency and host CPU utilisation
 // over time for a memcached victim under Bolt's detection-guided DoS
 // attack vs a naïve CPU-saturating DoS, with a live-migration defence that
@@ -22,7 +39,7 @@ import (
 func Figure13(seed uint64) *Report {
 	rep := newReport("fig13", "DoS timeline: Bolt vs naive, with migration defence")
 	rng := stats.NewRNG(seed ^ 0xf1613)
-	det := core.TrainCached(workload.TrainingSpecs(seed), core.Config{})
+	det := core.TrainCached(workload.TrainingSpecs(seed), attackPlanConfig())
 
 	type timeline struct {
 		p99, cpu []float64
@@ -141,7 +158,7 @@ func Figure13(seed uint64) *Report {
 func DoSImpact(seed uint64) *Report {
 	rep := newReport("dosimpact", "DoS aggregate impact")
 	rng := stats.NewRNG(seed ^ 0xd05)
-	det := core.TrainCached(workload.TrainingSpecs(seed), core.Config{})
+	det := core.TrainCached(workload.TrainingSpecs(seed), attackPlanConfig())
 
 	interactive := map[string]bool{
 		"memcached": true, "redis": true, "webserver": true,

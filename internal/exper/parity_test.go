@@ -1,0 +1,65 @@
+package exper
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"bolt/internal/mining"
+)
+
+// TestSuiteParityGatedVsFixedFoldIn is the regression contract of the
+// convergence-gated fold-in: running the entire experiment suite with the
+// gate active must emit byte-for-byte the output of the historical
+// fixed-2000-sweep solve. The gate stops the solve once a full sweep moves
+// no coordinate by more than 2⁻⁴⁸ of the iterate's magnitude — orders of
+// magnitude below anything the reports resolve — and the two experiments
+// that are sensitive at machine precision (the DoS planners) pin
+// FixedFoldIn explicitly, so the suites must agree exactly. A failure here
+// means either the gate fires too early or a new experiment started
+// consuming raw completed-pressure floats and needs the same pinning.
+func TestSuiteParityGatedVsFixedFoldIn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite twice")
+	}
+	const seed = 42
+	parallel := runtime.GOMAXPROCS(0)
+
+	render := func() []byte {
+		results := Run(All(), seed, parallel)
+		reports := make([]*Report, len(results))
+		for i, r := range results {
+			reports[i] = r.Report
+		}
+		var buf bytes.Buffer
+		if err := WriteAllJSON(&buf, seed, reports); err != nil {
+			t.Fatalf("WriteAllJSON: %v", err)
+		}
+		return buf.Bytes()
+	}
+
+	gated := render()
+	mining.SetForceFixedFoldIn(true)
+	defer mining.SetForceFixedFoldIn(false)
+	fixed := render()
+
+	if !bytes.Equal(gated, fixed) {
+		i := 0
+		for i < len(gated) && i < len(fixed) && gated[i] == fixed[i] {
+			i++
+		}
+		lo := i - 60
+		if lo < 0 {
+			lo = 0
+		}
+		hiG, hiF := i+60, i+60
+		if hiG > len(gated) {
+			hiG = len(gated)
+		}
+		if hiF > len(fixed) {
+			hiF = len(fixed)
+		}
+		t.Fatalf("suite output diverged at byte %d:\n  gated: …%s…\n  fixed: …%s…",
+			i, gated[lo:hiG], fixed[lo:hiF])
+	}
+}

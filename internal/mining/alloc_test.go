@@ -1,0 +1,65 @@
+package mining
+
+import (
+	"testing"
+
+	"bolt/internal/stats"
+)
+
+// Allocation regression tests for the detection hot path. The parallel
+// experiment runner calls Detect millions of times per suite; the scratch
+// pools and precomputed centred profiles exist so those calls stay off the
+// allocator. These tests pin the budgets so a regression fails loudly in
+// `go test ./...` rather than showing up as a benchmark drift.
+
+func TestDetectAllocationBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; allocation counts are inflated by design")
+	}
+	rng := stats.NewRNG(21)
+	rec := NewRecommender(synthTrain(rng), RecommenderConfig{})
+	obs := []float64{80, 55, 30, 70, 40, 50, 35, 55, 2, 1}
+	known := []bool{true, false, false, true, false, true, false, false, false, false}
+	rec.Detect(obs, known) // populate the scratch pool
+	allocs := testing.AllocsPerRun(100, func() { rec.Detect(obs, known) })
+	// Result struct + Pressure copy + Matches slice. A cold scratch-pool
+	// refill (GC can empty the pool mid-run) only nudges the average.
+	if allocs > 4 {
+		t.Errorf("Detect allocated %.2f objects/op, budget is 4", allocs)
+	}
+}
+
+func TestCompleteIntoAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; allocation counts are inflated by design")
+	}
+	train := trainMatrix(22, 30, 10)
+	c := NewCompleter(train, CompletionConfig{MaxVal: 100, Seed: 3})
+	obs := make([]float64, 10)
+	known := make([]bool, 10)
+	obs[2], known[2] = 40, true
+	obs[7], known[7] = 60, true
+	dst := make([]float64, 10)
+	c.CompleteInto(dst, obs, known) // populate the scratch pool
+	allocs := testing.AllocsPerRun(100, func() { c.CompleteInto(dst, obs, known) })
+	if allocs > 0.5 {
+		t.Errorf("CompleteInto allocated %.2f objects/op, want 0", allocs)
+	}
+}
+
+func TestCompleteAllocationBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; allocation counts are inflated by design")
+	}
+	train := trainMatrix(23, 30, 10)
+	c := NewCompleter(train, CompletionConfig{MaxVal: 100, Seed: 3})
+	obs := make([]float64, 10)
+	known := make([]bool, 10)
+	obs[1], known[1] = 25, true
+	c.Complete(obs, known) // populate the scratch pool
+	allocs := testing.AllocsPerRun(100, func() { c.Complete(obs, known) })
+	// Exactly the returned dense slice.
+	if allocs > 1.5 {
+		t.Errorf("Complete allocated %.2f objects/op, budget is 1", allocs)
+	}
+}

@@ -3,7 +3,7 @@ package mining
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 )
 
 // LabeledProfile is one previously seen workload in the training set: its
@@ -76,7 +76,26 @@ type Recommender struct {
 	weights  []float64 // per-resource Eq. 1 weights: Σₖ σₖ·|V[j][k]|
 	complete *Completer
 	concepts [][]float64 // per-training-app concept-space coordinates
-	n        int         // resource count
+	// centred holds the mean-centred training profiles, row-major with
+	// stride n: row i is profiles[i].Pressure - means. detect used to
+	// recompute this subtraction for every profile on every call; it is a
+	// pure function of the training set, so it is built once here.
+	centred []float64
+	ones    []float64 // all-ones weights for the Unweighted ablation
+	n       int       // resource count
+	scratch sync.Pool // *detectScratch
+}
+
+// detectScratch is the per-call working memory of one detection, pooled on
+// the Recommender so concurrent Detect calls (the parallel experiment
+// runner) each grab their own and steady-state detection performs no heap
+// allocation beyond the returned Result.
+type detectScratch struct {
+	dense   []float64 // completed observation (n)
+	weights []float64 // measured-boosted weight copy (n)
+	centred []float64 // mean-centred observation (n)
+	x       []float64 // projection input (n; PureCF)
+	u       []float64 // concept-space coordinates (rank; PureCF)
 }
 
 // minConceptRank is the fewest similarity concepts the recommender retains.
@@ -143,6 +162,17 @@ func NewRecommender(profiles []LabeledProfile, cfg RecommenderConfig) *Recommend
 	for i := range profiles {
 		r.concepts[i] = r.project(profiles[i].Pressure)
 	}
+	r.centred = make([]float64, len(profiles)*n)
+	for i, p := range profiles {
+		row := r.centred[i*n : (i+1)*n]
+		for j := range row {
+			row[j] = p.Pressure[j] - means[j]
+		}
+	}
+	r.ones = make([]float64, n)
+	for j := range r.ones {
+		r.ones[j] = 1
+	}
 	r.weights = make([]float64, n)
 	for j := 0; j < n; j++ {
 		for k, s := range r.svd.Sigma {
@@ -156,6 +186,16 @@ func NewRecommender(profiles []LabeledProfile, cfg RecommenderConfig) *Recommend
 		// participates slightly, keeping the covariance well defined.
 		if r.weights[j] < 1e-9 {
 			r.weights[j] = 1e-9
+		}
+	}
+	conceptRank := len(r.svd.Sigma)
+	r.scratch.New = func() any {
+		return &detectScratch{
+			dense:   make([]float64, n),
+			weights: make([]float64, n),
+			centred: make([]float64, n),
+			x:       make([]float64, n),
+			u:       make([]float64, conceptRank),
 		}
 	}
 	return r
@@ -240,8 +280,10 @@ func (r *Recommender) ResourceValue() []float64 {
 // the match than completed (inferred) ones, since the latter inherit the
 // training set's biases.
 func (r *Recommender) Detect(observed []float64, known []bool) *Result {
-	dense := r.complete.Complete(observed, known)
-	return r.detect(dense, known)
+	s := r.scratch.Get().(*detectScratch)
+	defer r.scratch.Put(s)
+	r.complete.CompleteInto(s.dense, observed, known)
+	return r.detect(s.dense, known, s)
 }
 
 // measuredBoost is the weight multiplier a directly profiled resource gets
@@ -283,12 +325,15 @@ func proximity(a, b, weights []float64) float64 {
 // preserved — the paper's stated reason for rejecting the traditional
 // unweighted coefficient.
 func (r *Recommender) DetectDense(pressure []float64) *Result {
-	return r.detect(pressure, nil)
+	s := r.scratch.Get().(*detectScratch)
+	defer r.scratch.Put(s)
+	return r.detect(pressure, nil, s)
 }
 
 // detect ranks pressure against the training profiles; known (optional)
 // marks which entries were directly measured and should dominate the match.
-func (r *Recommender) detect(pressure []float64, known []bool) *Result {
+// s supplies the working buffers; only the returned Result is allocated.
+func (r *Recommender) detect(pressure []float64, known []bool, s *detectScratch) *Result {
 	if len(pressure) != r.n {
 		panic("mining: DetectDense length mismatch")
 	}
@@ -298,7 +343,8 @@ func (r *Recommender) detect(pressure []float64, known []bool) *Result {
 	}
 	weights := r.weights
 	if known != nil {
-		weights = append([]float64(nil), r.weights...)
+		weights = s.weights
+		copy(weights, r.weights)
 		for j, k := range known {
 			if k {
 				weights[j] *= measuredBoost
@@ -307,7 +353,12 @@ func (r *Recommender) detect(pressure []float64, known []bool) *Result {
 	}
 	var u []float64
 	if r.cfg.PureCF {
-		u = r.project(pressure)
+		copy(s.x, pressure)
+		for j := range s.x {
+			s.x[j] -= r.means[j]
+		}
+		r.svd.ProjectInto(s.u, s.x)
+		u = s.u
 	}
 	// Centre by the training column means so that magnitude differences
 	// become pattern differences: Pearson alone is scale-invariant and
@@ -315,7 +366,7 @@ func (r *Recommender) detect(pressure []float64, known []bool) *Result {
 	// apart, but "above-average LLC" vs "below-average LLC" anti-correlate
 	// once centred — the same effect Eq. 1 gets from correlating in the
 	// concept space of the centred SVD.
-	centred := make([]float64, r.n)
+	centred := s.centred
 	for j := range centred {
 		centred[j] = pressure[j] - r.means[j]
 	}
@@ -325,25 +376,22 @@ func (r *Recommender) detect(pressure []float64, known []bool) *Result {
 	// different intensities are not the same application; the proximity
 	// factor (in (0, 1]) suppresses such matches while leaving near-copies
 	// untouched.
-	prof := make([]float64, r.n)
 	for i, p := range r.profiles {
-		for j := range prof {
-			prof[j] = p.Pressure[j] - r.means[j]
-		}
+		prof := r.centred[i*r.n : (i+1)*r.n]
 		var sim float64
 		switch {
 		case r.cfg.PureCF:
 			sim = CosineSimilarity(u, r.concepts[i])
 		case r.cfg.Unweighted:
-			sim = Pearson(centred, prof) * proximity(pressure, p.Pressure, nil)
+			// Pearson == WeightedPearson under all-ones weights; using the
+			// precomputed ones avoids Pearson's per-call allocation.
+			sim = WeightedPearson(centred, prof, r.ones) * proximity(pressure, p.Pressure, nil)
 		default:
 			sim = WeightedPearson(centred, prof, weights) * proximity(pressure, p.Pressure, weights)
 		}
 		res.Matches[i] = Match{Label: p.Label, Class: p.Class, Similarity: sim}
 	}
-	sort.SliceStable(res.Matches, func(i, j int) bool {
-		return res.Matches[i].Similarity > res.Matches[j].Similarity
-	})
+	sortMatches(res.Matches)
 	if r.cfg.PureCF {
 		// Pure collaborative filtering cannot assign labels (§3.2): it only
 		// clusters. Blank the labels so downstream accuracy metrics reflect
@@ -353,4 +401,29 @@ func (r *Recommender) detect(pressure []float64, known []bool) *Result {
 		}
 	}
 	return res
+}
+
+// sortMatches orders matches by decreasing similarity, stably. A stable
+// sort's output is uniquely determined by the comparator, so this binary
+// insertion sort produces exactly the ordering sort.SliceStable used to —
+// without the interface conversion and closure allocations, which were the
+// last per-call allocations on the detection hot path. Training sets are a
+// few hundred profiles, well inside insertion sort's comfort zone.
+func sortMatches(m []Match) {
+	for i := 1; i < len(m); i++ {
+		x := m[i]
+		// Binary search for the first position whose similarity is strictly
+		// below x's: equal keys stay in input order (stability).
+		lo, hi := 0, i
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if m[mid].Similarity >= x.Similarity {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		copy(m[lo+1:i+1], m[lo:i])
+		m[lo] = x
+	}
 }

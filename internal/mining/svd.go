@@ -178,9 +178,21 @@ func (s *SVD) Reconstruct() *Matrix {
 // concept space: u = x V Σ⁻¹. This is how a newly profiled application is
 // placed among previously seen workloads.
 func (s *SVD) Project(x []float64) []float64 {
+	u := make([]float64, len(s.Sigma))
+	s.ProjectInto(u, x)
+	return u
+}
+
+// ProjectInto is Project writing the concept coordinates into u (length
+// len(Sigma)) instead of allocating — the hot-path form used by the
+// recommender's scratch-buffered detection.
+func (s *SVD) ProjectInto(u, x []float64) {
 	r := len(s.Sigma)
-	u := make([]float64, r)
+	if len(u) != r {
+		panic("mining: ProjectInto dst length mismatch")
+	}
 	for k := 0; k < r; k++ {
+		u[k] = 0
 		if s.Sigma[k] == 0 {
 			continue
 		}
@@ -190,5 +202,4 @@ func (s *SVD) Project(x []float64) []float64 {
 		}
 		u[k] = sum / s.Sigma[k]
 	}
-	return u
 }

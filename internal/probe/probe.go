@@ -118,6 +118,10 @@ type Adversary struct {
 	Kernels *Kernels
 	cfg     Config
 	rng     *stats.RNG
+	// uncorePerm is ProfileOnce's benchmark-order permutation, reused
+	// across iterations. An adversary is single-flow by construction (its
+	// rng state already serialises use), so a plain field suffices.
+	uncorePerm []int
 }
 
 // NewAdversary builds an adversarial VM of the given size, ready to be
@@ -216,7 +220,11 @@ func (a *Adversary) ProfileOnce(s *sim.Server, start sim.Tick, extraBench int) P
 
 	order := make([]sim.Resource, 0, 3+extraBench)
 	order = append(order, core[a.rng.Intn(len(core))])
-	uncorePerm := a.rng.Perm(len(uncore))
+	if len(a.uncorePerm) != len(uncore) {
+		a.uncorePerm = make([]int, len(uncore))
+	}
+	a.rng.PermInto(a.uncorePerm)
+	uncorePerm := a.uncorePerm
 	uncoreAt := 0
 	nextUncore := func() sim.Resource {
 		r := uncore[uncorePerm[uncoreAt%len(uncore)]]

@@ -117,14 +117,22 @@ func (r *RNG) Bool(p float64) bool {
 // Perm returns a random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a random permutation of [0, len(p)) in place. It
+// resets p to the identity before shuffling, so the result — and the random
+// stream consumed — are exactly those of Perm(len(p)); callers on a hot path
+// reuse one buffer across calls without changing any downstream values.
+func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
-	for i := n - 1; i > 0; i-- {
+	for i := len(p) - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
 		p[i], p[j] = p[j], p[i]
 	}
-	return p
 }
 
 // Choose returns a uniformly random index weighted by the non-negative

@@ -76,3 +76,31 @@ func TestIntnFullRangeBuckets(t *testing.T) {
 		t.Fatalf("low-half fraction %.3f, want ~0.5 (modulo bias would give ~0.67)", frac)
 	}
 }
+
+// TestPermIntoMatchesPerm pins the refactoring contract of the reusable
+// permutation buffer: PermInto must consume exactly the random stream Perm
+// consumed and produce the identical permutation, regardless of what the
+// buffer held before — the training loop reuses one buffer across epochs
+// and its factors must not move by a bit.
+func TestPermIntoMatchesPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 321} {
+		a, b := NewRNG(99), NewRNG(99)
+		buf := make([]int, n)
+		for i := range buf {
+			buf[i] = -1 // stale garbage from a previous "epoch"
+		}
+		for epoch := 0; epoch < 3; epoch++ {
+			want := a.Perm(n)
+			b.PermInto(buf)
+			for i := range want {
+				if buf[i] != want[i] {
+					t.Fatalf("n=%d epoch=%d index %d: PermInto=%d, Perm=%d",
+						n, epoch, i, buf[i], want[i])
+				}
+			}
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("n=%d epoch=%d: streams diverged after permutation", n, epoch)
+			}
+		}
+	}
+}
