@@ -19,6 +19,9 @@ import (
 	"bolt/internal/core"
 	"bolt/internal/exper"
 	"bolt/internal/mining"
+	"bolt/internal/probe"
+	"bolt/internal/sim"
+	"bolt/internal/stats"
 	"bolt/internal/workload"
 )
 
@@ -253,6 +256,74 @@ func BenchmarkTrainCached(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.TrainCached(specs, core.Config{})
+	}
+}
+
+// --- Simulator hot paths ---
+
+// simTickWorld builds the observation-plane benchmark world: an 8-core host
+// carrying a reactive victim, a plain batch app, a diurnal service, and a
+// 4-vCPU adversary — the co-residency mix the DoS timeline and RFA loops
+// walk every tick.
+func simTickWorld() (*sim.Server, *sim.VM, *probe.Adversary) {
+	rng := stats.NewRNG(benchSeed)
+	s := sim.NewServer("bench", sim.ServerConfig{})
+	vspec := workload.Memcached(rng.Split(), 1)
+	vspec.Jitter = 0
+	vapp := workload.NewReactive(workload.NewApp(vspec, workload.Constant{Level: 0.9}, rng.Uint64()))
+	victim := &sim.VM{ID: "victim", VCPUs: 3, App: vapp}
+	if err := s.Place(victim); err != nil {
+		panic(err)
+	}
+	vapp.Bind(s, victim)
+	bspec := workload.Hadoop(rng.Split(), 0)
+	bspec.Jitter = 0
+	batch := &sim.VM{ID: "batch", VCPUs: 2, App: workload.NewApp(bspec, workload.Batch{Ramp: 10, Level: 0.95}, rng.Uint64())}
+	if err := s.Place(batch); err != nil {
+		panic(err)
+	}
+	wspec := workload.Webserver(rng.Split(), 0)
+	wspec.Jitter = 0
+	web := &sim.VM{ID: "web", VCPUs: 2, App: workload.NewApp(wspec, workload.Diurnal{Min: 0.2, Max: 0.9, Period: 1000}, rng.Uint64())}
+	if err := s.Place(web); err != nil {
+		panic(err)
+	}
+	adv := probe.NewAdversary("adv", 4, probe.Config{}, rng.Split())
+	if err := s.Place(adv.VM); err != nil {
+		panic(err)
+	}
+	return s, victim, adv
+}
+
+// BenchmarkSimTick measures one simulator observation tick: the adversary's
+// observed vector, the victim's slowdown, and the host CPU utilisation —
+// the per-tick work of the fig13 DoS timeline and the Table 2 RFA loops.
+// The tick advances every iteration, so this prices a full observation-
+// plane snapshot build plus the fused reads, not a warm-cache hit.
+func BenchmarkSimTick(b *testing.B) {
+	s, victim, adv := simTickWorld()
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := sim.Tick(i)
+		v := s.ObservedVector(adv.VM, t)
+		sink += v.Get(sim.LLC) + s.Slowdown(victim, t) + s.CPUUtilization(t)
+	}
+	_ = sink
+}
+
+// BenchmarkEpisodeStep measures one detection-episode step end to end:
+// profiling ramps against the simulated host plus the recommender passes —
+// the unit of work Table 1, Fig. 10, and Fig. 12 repeat thousands of times.
+func BenchmarkEpisodeStep(b *testing.B) {
+	det := core.TrainCached(workload.TrainingSpecs(benchSeed), core.Config{})
+	s, _, adv := simTickWorld()
+	e := det.NewEpisode(s, adv)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step(sim.Tick(i * 100))
 	}
 }
 

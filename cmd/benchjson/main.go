@@ -1,0 +1,137 @@
+// Command benchjson runs the repository's Go benchmarks and writes the
+// results as machine-readable JSON, so CI can archive the performance
+// trajectory (ns/op, B/op, allocs/op) per benchmark from PR to PR.
+//
+// Usage:
+//
+//	benchjson [-bench regex] [-benchtime 2x] [-pkg ./...] [-out BENCH_hotpath.json]
+//
+// It shells out to `go test -run ^$ -bench <regex> -benchmem` and parses
+// the standard benchmark output lines, e.g.
+//
+//	BenchmarkSimTick   20000   1513 ns/op   0 B/op   0 allocs/op
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the file benchjson writes.
+type Report struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoOS        string   `json:"goos,omitempty"`
+	GoArch      string   `json:"goarch,omitempty"`
+	CPU         string   `json:"cpu,omitempty"`
+	Bench       string   `json:"bench"`
+	BenchTime   string   `json:"benchtime"`
+	Benchmarks  []Result `json:"benchmarks"`
+}
+
+func main() {
+	bench := flag.String("bench", "BenchmarkSimTick|BenchmarkEpisodeStep|BenchmarkSuite", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "2x", "value passed to go test -benchtime")
+	pkg := flag.String("pkg", ".", "package pattern passed to go test")
+	out := flag.String("out", "BENCH_hotpath.json", "output JSON path")
+	timeout := flag.String("timeout", "30m", "value passed to go test -timeout")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *bench, "-benchmem", "-benchtime", *benchtime,
+		"-timeout", *timeout, *pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test failed: %v\n%s", err, buf.String())
+		os.Exit(1)
+	}
+
+	report := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Bench:       *bench,
+		BenchTime:   *benchtime,
+	}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			report.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			report.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				report.Benchmarks = append(report.Benchmarks, r)
+			}
+		}
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines matched")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+// parseLine parses one `BenchmarkName-N  iters  X ns/op  Y B/op  Z allocs/op`
+// line. The -cpu suffix is kept out of the name so results are comparable
+// across machines.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			r.NsPerOp, _ = strconv.ParseFloat(val, 64)
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	return r, true
+}

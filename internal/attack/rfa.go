@@ -49,6 +49,13 @@ type RFAOutcome struct {
 // MeasureServiceRFA runs the attack against an interactive victim: it
 // compares the victim's throughput and the beneficiary's execution time
 // with the helper off and on.
+//
+// Both measurements happen at the same tick with only the helper kernels
+// toggled in between — the case that requires the helper's probe.Kernels
+// to implement sim.DemandVersioner: the host's per-tick demand snapshot
+// invalidates on the kernel version bump, so the on-measurement sees the
+// helper's pressure (and the reactive victim's response to it) instead of
+// the cached off-state.
 func MeasureServiceRFA(r *RFA, host *sim.Server, victim *latency.Service,
 	beneficiary *latency.BatchJob, start sim.Tick) RFAOutcome {
 	r.Stop()

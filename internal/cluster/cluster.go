@@ -167,11 +167,9 @@ func (Quasar) Pick(servers []*sim.Server, vm *sim.VM, t sim.Tick) int {
 		if s.FreeVCPUs() < vm.VCPUs {
 			continue
 		}
-		// Aggregate resource pressure already on the host.
-		var host sim.Vector
-		for _, other := range s.VMs() {
-			host = host.Add(other.App.Demand(t))
-		}
+		// Aggregate resource pressure already on the host, from the host's
+		// per-tick demand snapshot.
+		host := s.HostDemand(t)
 		overlap := 0.0
 		for _, r := range sim.AllResources() {
 			overlap += demand.Get(r) * host.Get(r)

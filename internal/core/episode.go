@@ -116,6 +116,37 @@ type Episode struct {
 	// during Detect, so handing out the same buffers each time is safe.
 	obsBuf   []float64
 	knownBuf []bool
+
+	// memo* cache the last Rec.Detect call. The recommender is immutable
+	// after training and Detect is a pure function of (obs, known), so an
+	// identical observation must produce an identical result. Episodes
+	// re-detect without new evidence often — Step detects before and after
+	// an escalation whose measurements may not change the combined view
+	// (shutter folds into a stream combined() ignores, the MRC rung only
+	// sets mrcSlope), and Candidates starts from the same observation the
+	// last Step ended on — so roughly four in ten Detect calls repeat the
+	// previous one exactly. The memo lives on the episode, not the shared
+	// detector, keeping the detector concurrency-safe.
+	memoValid bool
+	memoObs   [sim.NumResources]float64
+	memoKnown [sim.NumResources]bool
+	memoRes   *mining.Result
+}
+
+// detect is Rec.Detect behind the single-entry memo. Callers treat the
+// returned result as read-only (they already do: Step and Candidates hand
+// it out directly), so returning the cached pointer is safe.
+func (e *Episode) detect(obs []float64, known []bool) *mining.Result {
+	var o [sim.NumResources]float64
+	var k [sim.NumResources]bool
+	copy(o[:], obs)
+	copy(k[:], known)
+	if e.memoValid && o == e.memoObs && k == e.memoKnown {
+		return e.memoRes
+	}
+	res := e.det.Rec.Detect(obs, known)
+	e.memoObs, e.memoKnown, e.memoRes, e.memoValid = o, k, res, true
+	return res
 }
 
 // NewEpisode starts a detection episode for the adversary on server s.
@@ -176,7 +207,7 @@ func (e *Episode) Step(start sim.Tick) *mining.Result {
 	e.merge(p)
 
 	obs, known := e.combined()
-	res := e.det.Rec.Detect(obs, known)
+	res := e.detect(obs, known)
 	if res.Best().Similarity >= e.det.cfg.StopSimilarity {
 		return res
 	}
@@ -220,7 +251,7 @@ func (e *Episode) Step(start sim.Tick) *mining.Result {
 		}
 	}
 	obs, known = e.combined()
-	return e.det.Rec.Detect(obs, known)
+	return e.detect(obs, known)
 }
 
 // missingUncore lists up to two uncore resources not yet measured, or nil.
@@ -286,7 +317,7 @@ func (e *Episode) Candidates(maxVictims int) []*mining.Result {
 		maxVictims = 1
 	}
 	obs, known := e.combined()
-	single := e.det.Rec.Detect(obs, known)
+	single := e.detect(obs, known)
 	if maxVictims == 1 || e.uncore.knownCount() == 0 {
 		return []*mining.Result{single}
 	}
@@ -456,7 +487,7 @@ func (e *Episode) Candidates(maxVictims int) []*mining.Result {
 		pred := 0.0
 		for _, i := range idxs {
 			d := sim.FromSlice(profiles[i].Pressure)
-			pred += d.Get(sim.LLC) * sim.CacheSpillFactor(d) * 0.4
+			pred += d.Get(sim.LLC) * sim.CacheSpillFactor(d) * sim.SpillScale
 		}
 		diff := pred - e.mrcSlope
 		if diff < 0 {

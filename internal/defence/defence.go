@@ -160,13 +160,11 @@ func (m *MultiResourceAnomaly) Alarmed() (bool, sim.Tick) { return m.alarmed, m.
 func (m *MultiResourceAnomaly) TrippedBy() sim.Resource { return m.trippedBy }
 
 // HostUsage returns the aggregate per-resource demand on a server at time
-// t — the signal a provider-side monitor samples.
+// t — the signal a provider-side monitor samples. It is served from the
+// server's per-tick demand snapshot (sim.Server.HostDemand), which folds
+// the same clamped Vector.Add in placement order as the loop it replaced.
 func HostUsage(s *sim.Server, t sim.Tick) sim.Vector {
-	var total sim.Vector
-	for _, vm := range s.VMs() {
-		total = total.Add(vm.App.Demand(t))
-	}
-	return total
+	return s.HostDemand(t)
 }
 
 // Verdict summarises one detector's outcome against one attack run.

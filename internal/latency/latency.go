@@ -71,7 +71,10 @@ type Sample struct {
 }
 
 // Measure returns the service's latency and throughput at time t given the
-// interference present on its host.
+// interference present on its host. The slowdown query rides the host's
+// per-tick demand snapshot, so repeated same-tick measurements (the DoS
+// timeline samples latency and CPU utilisation at the same instant) cost
+// one demand evaluation per co-resident rather than one per query.
 func (svc *Service) Measure(host *sim.Server, t sim.Tick) Sample {
 	base, peakRho, peakQPS := svc.defaults()
 	slow := host.Slowdown(svc.VM, t)

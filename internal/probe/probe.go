@@ -6,7 +6,6 @@
 package probe
 
 import (
-	"sort"
 	"sync"
 
 	"bolt/internal/sim"
@@ -21,6 +20,10 @@ import (
 type Kernels struct {
 	mu        sync.Mutex
 	intensity sim.Vector
+	// version counts effective intensity changes; it backs DemandVersion so
+	// the server's observation snapshot notices a retuned kernel even at an
+	// unchanged tick (the RFA measurement toggles its helper mid-tick).
+	version uint64
 	// MaxIntensity caps every kernel. Small adversarial VMs cannot generate
 	// full-host contention (Fig. 10b); see MaxIntensityFor.
 	MaxIntensity float64
@@ -57,7 +60,11 @@ func (k *Kernels) Set(r sim.Resource, intensity float64) {
 	if intensity > k.MaxIntensity {
 		intensity = k.MaxIntensity
 	}
+	before := k.intensity.Get(r)
 	k.intensity.Set(r, intensity)
+	if k.intensity.Get(r) != before {
+		k.version++
+	}
 }
 
 // Get returns the current intensity of the kernel for r.
@@ -71,6 +78,9 @@ func (k *Kernels) Get(r sim.Resource) float64 {
 func (k *Kernels) Reset() {
 	k.mu.Lock()
 	defer k.mu.Unlock()
+	if k.intensity != (sim.Vector{}) {
+		k.version++
+	}
 	k.intensity = sim.Vector{}
 }
 
@@ -87,7 +97,17 @@ func (k *Kernels) Demand(sim.Tick) sim.Vector {
 // zero for the slowdown model.
 func (k *Kernels) Sensitivity() sim.Vector { return sim.Vector{} }
 
+// DemandVersion implements sim.DemandVersioner: the kernel intensities are
+// mutated out-of-band (ramps, attacks), so the server's per-tick demand
+// snapshot keys on this counter.
+func (k *Kernels) DemandVersion() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.version
+}
+
 var _ sim.Demander = (*Kernels)(nil)
+var _ sim.DemandVersioner = (*Kernels)(nil)
 
 // Config tunes the profiling procedure.
 type Config struct {
@@ -305,15 +325,9 @@ func (a *Adversary) ProfileCore(s *sim.Server, start sim.Tick) Profile {
 // concurrently (the adversary owns one hyperthread on each), so the time
 // charged is the slowest core's ramp sequence.
 func (a *Adversary) CoreSignatures(s *sim.Server, start sim.Tick) ([]sim.Vector, sim.Tick) {
-	cores := make(map[int]bool)
-	for _, sl := range a.VM.Slots() {
-		cores[sl.Core] = true
-	}
-	coreIdxs := make([]int, 0, len(cores))
-	for c := range cores {
-		coreIdxs = append(coreIdxs, c)
-	}
-	sort.Ints(coreIdxs)
+	// The VM's core set is precomputed by Place, already deduplicated and
+	// sorted ascending — the order the map+sort construction used to yield.
+	coreIdxs := a.VM.Cores()
 
 	var sigs []sim.Vector
 	var maxTicks sim.Tick

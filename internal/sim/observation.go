@@ -1,0 +1,414 @@
+package sim
+
+// This file is the server's observation plane: every query about what a VM
+// can see or feel at a tick — ObservedPressure, ObservedVector,
+// Interference, Slowdown, CPUUtilization, HostDemand — is answered from a
+// per-(Server, Tick) demand snapshot in which each VM's Demand(t) was
+// evaluated exactly once. The cached paths reproduce the original
+// per-resource loops operation for operation (same summation order, same
+// clamping), so results are bit-identical to evaluating demands inline.
+//
+// Snapshot lifetime and invalidation:
+//
+//   - the snapshot is keyed by (tick, server epoch, per-VM demand
+//     versions). Place/Remove bump the epoch; a Demander implementing
+//     DemandVersioner (probe kernels) bumps its version when retuned. Any
+//     mismatch rebuilds the whole snapshot, so demanders that derive their
+//     output from co-residents (workload.Reactive) are re-evaluated
+//     whenever any of their inputs could have changed.
+//
+//   - rebuild evaluates s.vms[i].App.Demand(t) in placement order. A
+//     Demander must not call the server's cached observation methods from
+//     inside Demand; re-entrant evaluation (Reactive's one-step
+//     relaxation) must use InterferenceLive, which never touches the
+//     snapshot. As a safety net the plane carries a `building` flag and
+//     every cached method falls back to the live path while it is set.
+//
+// Reactive re-entrancy contract: workload.Reactive computes its demand
+// from the interference its host reports, which in turn depends on the
+// co-residents' demands — a cycle Reactive breaks with a one-step
+// relaxation (nested evaluations answer with raw demand). That nested view
+// is *different* from the top-level one and must never be served from (or
+// written to) the snapshot; InterferenceLive exists precisely for it. The
+// snapshot only ever stores top-level demands, which are deterministic for
+// a fixed (tick, epoch, versions) key, so one evaluation per VM per tick
+// is exact.
+
+// obsPlane is the per-server demand snapshot.
+type obsPlane struct {
+	tick     Tick
+	epoch    uint64
+	valid    bool
+	building bool
+	// demand[i] is s.vms[i].App.Demand(tick); versioners[i] is s.vms[i].App
+	// as a DemandVersioner (nil for pure demanders) and versions[i] the
+	// version captured at build time.
+	demand     []Vector
+	versioners []DemandVersioner
+	versions   []uint64
+}
+
+func (o *obsPlane) resize(n int) {
+	if cap(o.demand) < n {
+		o.demand = make([]Vector, n)
+		o.versioners = make([]DemandVersioner, n)
+		o.versions = make([]uint64, n)
+	}
+	o.demand = o.demand[:n]
+	o.versioners = o.versioners[:n]
+	o.versions = o.versions[:n]
+}
+
+func (o *obsPlane) versionsCurrent() bool {
+	for i, v := range o.versioners {
+		if v != nil && v.DemandVersion() != o.versions[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// observation returns the snapshot for tick t, rebuilding it if stale. It
+// returns nil while a rebuild is in progress (a Demander re-entered the
+// observation plane); callers then use the live path.
+func (s *Server) observation(t Tick) *obsPlane {
+	o := &s.obs
+	if o.building {
+		return nil
+	}
+	if o.valid && o.tick == t && o.epoch == s.epoch && o.versionsCurrent() {
+		return o
+	}
+	o.valid = false
+	o.resize(len(s.vms))
+	o.building = true
+	for i, vm := range s.vms {
+		v, _ := vm.App.(DemandVersioner)
+		o.versioners[i] = v
+		if v != nil {
+			o.versions[i] = v.DemandVersion()
+		} else {
+			o.versions[i] = 0
+		}
+		o.demand[i] = vm.App.Demand(t)
+	}
+	o.building = false
+	o.tick, o.epoch, o.valid = t, s.epoch, true
+	return o
+}
+
+// freshObservation returns the snapshot only if it is already valid for
+// tick t; it never triggers a rebuild. Used by per-core queries, whose
+// live cost is limited to the VMs on one core — cheaper than a whole-host
+// rebuild when nothing else observes this tick.
+func (s *Server) freshObservation(t Tick) *obsPlane {
+	o := &s.obs
+	if !o.building && o.valid && o.tick == t && o.epoch == s.epoch && o.versionsCurrent() {
+		return o
+	}
+	return nil
+}
+
+// squeezeFor returns the observer's cache-squeeze coefficient for the
+// MemBW coupling term, reading the observer's demand from the snapshot
+// when it is placed on this server (the common case).
+func (s *Server) squeezeFor(o *obsPlane, observer *VM, t Tick) float64 {
+	if observer == nil {
+		return 0
+	}
+	for i, vm := range s.vms {
+		if vm == observer {
+			return o.demand[i].Get(LLC) / 100 * s.cfg.Visibility.Get(LLC)
+		}
+	}
+	return observer.App.Demand(t).Get(LLC) / 100 * s.cfg.Visibility.Get(LLC)
+}
+
+// ObservedPressure returns the contention a probe inside observer sees on
+// resource r at time t: the (approximately additive, §3.3) sum of the
+// co-residents' demand, attenuated by the host's isolation visibility. Core
+// resources are visible only from VMs sharing a physical core with the
+// source of the pressure; uncore resources are visible host-wide.
+//
+// Memory bandwidth carries a second-order term: when the observer itself
+// occupies LLC capacity, the co-residents' miss rates rise and their DRAM
+// traffic grows in proportion to their cache-spill factors — the coupling
+// the miss-ratio-curve probe measures.
+func (s *Server) ObservedPressure(observer *VM, r Resource, t Tick) float64 {
+	if r.IsCore() && !s.sharesAnyCore(observer) {
+		// No core-sharing neighbour contributes, so the sum is empty; skip
+		// the snapshot entirely (the pre-snapshot code evaluated no demands
+		// here either).
+		return 0
+	}
+	if o := s.observation(t); o != nil {
+		return s.observedPressureFrom(o, observer, r, t)
+	}
+	return s.observedPressureLive(observer, r, t)
+}
+
+// observedPressureFrom answers a single-resource query from the snapshot.
+func (s *Server) observedPressureFrom(o *obsPlane, observer *VM, r Resource, t Tick) float64 {
+	squeeze := 0.0
+	if r == MemBW {
+		squeeze = s.squeezeFor(o, observer, t)
+	}
+	total := 0.0
+	for i, vm := range s.vms {
+		if vm == observer {
+			continue
+		}
+		if r.IsCore() && !s.SharesCore(observer, vm) {
+			continue
+		}
+		demand := &o.demand[i]
+		total += demand.Get(r)
+		if squeeze > 0 {
+			total += demand.Get(LLC) * CacheSpillFactor(*demand) * squeeze * SpillScale
+		}
+	}
+	total *= s.cfg.Visibility.Get(r)
+	if total > 100 {
+		total = 100
+	}
+	return total
+}
+
+// observedPressureLive is the uncached single-resource path, used while
+// the snapshot is being rebuilt. It is the pre-snapshot implementation.
+func (s *Server) observedPressureLive(observer *VM, r Resource, t Tick) float64 {
+	squeeze := 0.0
+	if r == MemBW && observer != nil {
+		squeeze = observer.App.Demand(t).Get(LLC) / 100 * s.cfg.Visibility.Get(LLC)
+	}
+	total := 0.0
+	for _, vm := range s.vms {
+		if vm == observer {
+			continue
+		}
+		if r.IsCore() && !s.SharesCore(observer, vm) {
+			continue
+		}
+		demand := vm.App.Demand(t)
+		total += demand.Get(r)
+		if squeeze > 0 {
+			total += demand.Get(LLC) * CacheSpillFactor(demand) * squeeze * SpillScale
+		}
+	}
+	total *= s.cfg.Visibility.Get(r)
+	if total > 100 {
+		total = 100
+	}
+	return total
+}
+
+// ObservedCorePressure returns the contention a probe pinned to the given
+// physical core sees on core-private resource r: only the sibling
+// hyperthreads of that specific core contribute. Because no hyperthread is
+// shared between VMs, this signal belongs to (at most) one co-resident per
+// core — the property §3.3 exploits to measure core pressure accurately in
+// a mixture. It rides an existing snapshot but never forces a rebuild: its
+// live cost is bounded by the VMs on one core.
+func (s *Server) ObservedCorePressure(observer *VM, coreIdx int, r Resource, t Tick) float64 {
+	if !r.IsCore() {
+		return s.ObservedPressure(observer, r, t)
+	}
+	total := 0.0
+	if o := s.freshObservation(t); o != nil {
+		for i, vm := range s.vms {
+			if vm != observer && vm.occupiesCore(coreIdx) {
+				total += o.demand[i].Get(r)
+			}
+		}
+	} else {
+		for _, vm := range s.vms {
+			if vm != observer && vm.occupiesCore(coreIdx) {
+				total += vm.App.Demand(t).Get(r)
+			}
+		}
+	}
+	total *= s.cfg.Visibility.Get(r)
+	if total > 100 {
+		total = 100
+	}
+	return total
+}
+
+// accumulateObserved folds one VM's demand into the per-resource running
+// sums of a fused full-vector pass. Within each resource the sums receive
+// their contributions in placement order — the same floating-point
+// operation sequence as the original one-resource-at-a-time loops, so the
+// fused pass is bit-identical to them.
+func accumulateObserved(totals *[NumResources]float64, demand *Vector, shares bool, squeeze float64) {
+	for ri := 0; ri < NumResources; ri++ {
+		r := Resource(ri)
+		if r.IsCore() && !shares {
+			continue
+		}
+		totals[ri] += demand.Get(r)
+		if r == MemBW && squeeze > 0 {
+			totals[ri] += demand.Get(LLC) * CacheSpillFactor(*demand) * squeeze * SpillScale
+		}
+	}
+}
+
+// finishObserved applies visibility attenuation and the 100-percent clamp
+// to the accumulated sums.
+func (s *Server) finishObserved(totals *[NumResources]float64) Vector {
+	var v Vector
+	for ri := 0; ri < NumResources; ri++ {
+		total := totals[ri] * s.cfg.Visibility.Get(Resource(ri))
+		if total > 100 {
+			total = 100
+		}
+		v.Set(Resource(ri), total)
+	}
+	return v
+}
+
+// observedVectorFrom is the fused full-vector pass over the snapshot.
+func (s *Server) observedVectorFrom(o *obsPlane, observer *VM, t Tick) Vector {
+	squeeze := s.squeezeFor(o, observer, t)
+	var totals [NumResources]float64
+	for i, vm := range s.vms {
+		if vm == observer {
+			continue
+		}
+		accumulateObserved(&totals, &o.demand[i], s.SharesCore(observer, vm), squeeze)
+	}
+	return s.finishObserved(&totals)
+}
+
+// ObservedVector returns ObservedPressure for every resource at once, in a
+// single fused pass over the snapshot.
+func (s *Server) ObservedVector(observer *VM, t Tick) Vector {
+	if o := s.observation(t); o != nil {
+		return s.observedVectorFrom(o, observer, t)
+	}
+	return s.InterferenceLive(observer, t)
+}
+
+// Interference returns, for each resource, the contention pressure the
+// victim experiences from all co-residents (core resources only from
+// core-sharing neighbours), attenuated by isolation visibility. This is the
+// input to the slowdown and latency models. It is served from the per-tick
+// snapshot; re-entrant evaluation must use InterferenceLive.
+func (s *Server) Interference(victim *VM, t Tick) Vector {
+	return s.ObservedVector(victim, t)
+}
+
+// InterferenceLive is Interference computed directly from the VMs' current
+// demands, bypassing the per-tick snapshot. It exists for demanders that
+// evaluate their own output from the host's state — workload.Reactive's
+// one-step relaxation calls it while the snapshot may be mid-build, and
+// the values it sees there (raw demand from the VM being computed, full
+// demand from everyone else) are deliberately different from the top-level
+// snapshot view.
+func (s *Server) InterferenceLive(victim *VM, t Tick) Vector {
+	squeeze := 0.0
+	if victim != nil {
+		squeeze = victim.App.Demand(t).Get(LLC) / 100 * s.cfg.Visibility.Get(LLC)
+	}
+	var totals [NumResources]float64
+	for _, vm := range s.vms {
+		if vm == victim {
+			continue
+		}
+		demand := vm.App.Demand(t)
+		accumulateObserved(&totals, &demand, s.SharesCore(victim, vm), squeeze)
+	}
+	return s.finishObserved(&totals)
+}
+
+// Slowdown returns the victim's execution-time dilation factor (≥1) at time
+// t under the host's current co-residents. For each resource the demand
+// beyond capacity is charged to the victim in proportion to its sensitivity;
+// contention on the victim's critical resources therefore hurts far more
+// than the same contention elsewhere — the asymmetry Bolt's DoS attack
+// exploits (§5.1).
+func (s *Server) Slowdown(victim *VM, t Tick) float64 {
+	if o := s.observation(t); o != nil {
+		demand, found := Vector{}, false
+		for i, vm := range s.vms {
+			if vm == victim {
+				demand, found = o.demand[i], true
+				break
+			}
+		}
+		if !found {
+			demand = victim.App.Demand(t)
+		}
+		return SlowdownFor(demand, victim.App.Sensitivity(), s.observedVectorFrom(o, victim, t))
+	}
+	return SlowdownFor(victim.App.Demand(t), victim.App.Sensitivity(), s.InterferenceLive(victim, t))
+}
+
+// SlowdownFor is the contention arithmetic behind Server.Slowdown, exposed
+// so reactive workload models can evaluate it against a hypothetical
+// demand without re-entering the server.
+func SlowdownFor(demand, sens, interference Vector) float64 {
+	slow := 1.0
+	for _, r := range AllResources() {
+		overload := demand.Get(r) + interference.Get(r) - 100
+		if overload <= 0 {
+			continue
+		}
+		slow += sens.Get(r) * overload / 100 * slowdownWeight(r)
+	}
+	return slow
+}
+
+// slowdownWeight scales how much saturating each resource costs. Cache and
+// memory contention dominate execution-time impact on the paper's
+// workloads; capacity resources degrade more gently until exhausted.
+func slowdownWeight(r Resource) float64 {
+	switch r {
+	case L1I, L1D, LLC:
+		return 4
+	case L2:
+		return 2
+	case MemBW, CPU:
+		return 3
+	case NetBW, DiskBW:
+		return 2.5
+	case MemCap, DiskCap:
+		return 1.5
+	}
+	return 1
+}
+
+// CPUUtilization returns the host's aggregate CPU usage in percent at time
+// t — the signal a migration-triggering DoS defence watches (§5.1).
+func (s *Server) CPUUtilization(t Tick) float64 {
+	total := 0.0
+	if o := s.observation(t); o != nil {
+		for i := range s.vms {
+			total += o.demand[i].Get(CPU)
+		}
+	} else {
+		for _, vm := range s.vms {
+			total += vm.App.Demand(t).Get(CPU)
+		}
+	}
+	if total > 100 {
+		total = 100
+	}
+	return total
+}
+
+// HostDemand returns the aggregate per-resource demand of every VM on the
+// host at time t, folded in placement order with the clamped Vector.Add —
+// the provider-side view a monitor or scheduler samples.
+func (s *Server) HostDemand(t Tick) Vector {
+	var total Vector
+	if o := s.observation(t); o != nil {
+		for i := range s.vms {
+			total = total.Add(o.demand[i])
+		}
+		return total
+	}
+	for _, vm := range s.vms {
+		total = total.Add(vm.App.Demand(t))
+	}
+	return total
+}

@@ -60,7 +60,7 @@ func TestPropPerCorePressureNeverExceedsAggregate(t *testing.T) {
 		}
 		for _, r := range CoreResources() {
 			agg := s.ObservedPressure(observer, r, 0)
-			for core := range observer.Cores() {
+			for _, core := range observer.Cores() {
 				per := s.ObservedCorePressure(observer, core, r, 0)
 				if per > agg+1e-9 && agg < 100 {
 					return false

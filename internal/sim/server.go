@@ -23,9 +23,30 @@ func (t Tick) Seconds() float64 { return float64(t) / TicksPerSecond }
 // on every shared resource at a given time (as a percentage of the host's
 // capacity for that resource) and its sensitivity to contention on each
 // resource (0-1). Application models in internal/workload implement it.
+//
+// Demand(t) must be deterministic for a fixed t and fixed world state:
+// the server's observation plane evaluates each VM's demand once per tick
+// and serves every same-tick observation from that snapshot. A Demander
+// whose output can change between two calls at the same tick (because some
+// out-of-band state was mutated, like a contention kernel's intensity)
+// must also implement DemandVersioner so the snapshot can be invalidated.
 type Demander interface {
 	Demand(t Tick) Vector
 	Sensitivity() Vector
+}
+
+// DemandVersioner is implemented by Demanders whose Demand(t) can change
+// at a fixed tick through out-of-band mutation (probe kernels being
+// retuned, an attack toggling its helpers). DemandVersion must return a
+// counter that increases whenever the next Demand call might differ from
+// the previous one at the same tick. Mutations that arrive through the
+// server itself — placement changes — are tracked by the server's own
+// epoch and need no version; and a Demander that derives its output from
+// co-residents' demands (workload.Reactive) is covered transitively,
+// because any change to its inputs either bumps a version or the epoch,
+// and invalidation rebuilds the whole snapshot.
+type DemandVersioner interface {
+	DemandVersion() uint64
 }
 
 // Slot identifies one hyperthread: physical core index and thread index
@@ -42,20 +63,67 @@ type VM struct {
 	App   Demander
 
 	slots []Slot
+	// coreMask has bit c set when the VM holds a hyperthread of physical
+	// core c; coreList is the same set as a sorted slice. Both are
+	// maintained by Place/Remove so topology queries on the observation
+	// hot path never rebuild a set per call.
+	coreMask []uint64
+	coreList []int
 }
 
-// Slots returns the hyperthread slots assigned to the VM.
+// Slots returns a copy of the hyperthread slots assigned to the VM.
+// In-package hot paths iterate vm.slots directly.
 func (vm *VM) Slots() []Slot {
 	return append([]Slot(nil), vm.slots...)
 }
 
-// Cores returns the set of physical core indices the VM occupies.
-func (vm *VM) Cores() map[int]bool {
-	cores := make(map[int]bool, len(vm.slots))
-	for _, s := range vm.slots {
-		cores[s.Core] = true
+// Cores returns the physical core indices the VM occupies, in ascending
+// order. The set is precomputed by Place; the returned slice is a copy.
+// In-package hot paths use vm.coreList / vm.coreMask directly.
+func (vm *VM) Cores() []int {
+	return append([]int(nil), vm.coreList...)
+}
+
+// occupiesCore reports whether the VM holds a hyperthread of core c.
+func (vm *VM) occupiesCore(c int) bool {
+	w := uint(c) >> 6
+	return int(w) < len(vm.coreMask) && vm.coreMask[w]&(1<<(uint(c)&63)) != 0
+}
+
+// rebuildCoreCache recomputes coreMask/coreList from the VM's slots.
+func (vm *VM) rebuildCoreCache(hostCores int) {
+	words := (hostCores + 63) / 64
+	if cap(vm.coreMask) < words {
+		vm.coreMask = make([]uint64, words)
+	} else {
+		vm.coreMask = vm.coreMask[:words]
+		for i := range vm.coreMask {
+			vm.coreMask[i] = 0
+		}
 	}
-	return cores
+	for _, sl := range vm.slots {
+		vm.coreMask[uint(sl.Core)>>6] |= 1 << (uint(sl.Core) & 63)
+	}
+	vm.coreList = vm.coreList[:0]
+	for c := 0; c < hostCores; c++ {
+		if vm.occupiesCore(c) {
+			vm.coreList = append(vm.coreList, c)
+		}
+	}
+}
+
+// masksOverlap reports whether two core masks share a set bit.
+func masksOverlap(a, b []uint64) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i]&b[i] != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // ServerConfig describes a physical host. The defaults model the paper's
@@ -99,6 +167,14 @@ type Server struct {
 	// free[i] is true when hyperthread slot i (core i/tpc, thread i%tpc) is
 	// unoccupied.
 	free []bool
+	// byID indexes vms by VM.ID so Lookup (and Place's duplicate check) is
+	// O(1); cluster construction used to be O(n²) in VMs per host.
+	byID map[string]*VM
+	// epoch counts placement changes; the observation snapshot records the
+	// epoch it was built at and rebuilds when they diverge.
+	epoch uint64
+	// obs is the per-tick observation snapshot (observation.go).
+	obs obsPlane
 }
 
 // ErrNoCapacity is returned when a VM cannot be placed on a server.
@@ -111,6 +187,7 @@ func NewServer(name string, cfg ServerConfig) *Server {
 		cfg:  cfg,
 		name: name,
 		free: make([]bool, cfg.Cores*cfg.ThreadsPerCore),
+		byID: make(map[string]*VM),
 	}
 	for i := range s.free {
 		s.free[i] = true
@@ -138,19 +215,15 @@ func (s *Server) FreeVCPUs() int {
 	return n
 }
 
-// VMs returns the VMs currently placed on the server.
+// VMs returns a copy of the VMs currently placed on the server.
+// In-package hot paths iterate s.vms directly.
 func (s *Server) VMs() []*VM {
 	return append([]*VM(nil), s.vms...)
 }
 
 // Lookup returns the VM with the given ID, or nil.
 func (s *Server) Lookup(id string) *VM {
-	for _, vm := range s.vms {
-		if vm.ID == id {
-			return vm
-		}
-	}
-	return nil
+	return s.byID[id]
 }
 
 func (s *Server) slotIndex(sl Slot) int {
@@ -172,7 +245,7 @@ func (s *Server) Place(vm *VM) error {
 	if vm.VCPUs <= 0 {
 		return fmt.Errorf("sim: VM %q has %d vCPUs", vm.ID, vm.VCPUs)
 	}
-	if s.Lookup(vm.ID) != nil {
+	if s.byID[vm.ID] != nil {
 		return fmt.Errorf("sim: VM %q already placed on %s", vm.ID, s.name)
 	}
 	tpc := s.cfg.ThreadsPerCore
@@ -229,7 +302,10 @@ func (s *Server) Place(vm *VM) error {
 	// Under DedicatedCores extra reserved threads stay marked used but are
 	// not listed as VM slots; they are simply burned capacity (the paper's
 	// utilisation penalty).
+	vm.rebuildCoreCache(s.cfg.Cores)
 	s.vms = append(s.vms, vm)
+	s.byID[vm.ID] = vm
+	s.epoch++
 	return nil
 }
 
@@ -237,24 +313,31 @@ func (s *Server) Place(vm *VM) error {
 // DedicatedCores, the rest of each reserved core). It reports whether a VM
 // was removed.
 func (s *Server) Remove(id string) bool {
-	for i, vm := range s.vms {
-		if vm.ID != id {
-			continue
-		}
-		for _, sl := range vm.slots {
-			if s.cfg.DedicatedCores {
-				for th := 0; th < s.cfg.ThreadsPerCore; th++ {
-					s.free[sl.Core*s.cfg.ThreadsPerCore+th] = true
-				}
-			} else {
-				s.free[s.slotIndex(sl)] = true
-			}
-		}
-		vm.slots = nil
-		s.vms = append(s.vms[:i], s.vms[i+1:]...)
-		return true
+	vm := s.byID[id]
+	if vm == nil {
+		return false
 	}
-	return false
+	for _, sl := range vm.slots {
+		if s.cfg.DedicatedCores {
+			for th := 0; th < s.cfg.ThreadsPerCore; th++ {
+				s.free[sl.Core*s.cfg.ThreadsPerCore+th] = true
+			}
+		} else {
+			s.free[s.slotIndex(sl)] = true
+		}
+	}
+	vm.slots = nil
+	vm.coreMask = nil
+	vm.coreList = nil
+	for i, v := range s.vms {
+		if v == vm {
+			s.vms = append(s.vms[:i], s.vms[i+1:]...)
+			break
+		}
+	}
+	delete(s.byID, id)
+	s.epoch++
+	return true
 }
 
 // SharesCore reports whether the two VMs occupy hyperthreads of at least one
@@ -263,9 +346,17 @@ func (s *Server) SharesCore(a, b *VM) bool {
 	if a == nil || b == nil || a == b {
 		return false
 	}
-	cores := a.Cores()
-	for _, sl := range b.slots {
-		if cores[sl.Core] {
+	return masksOverlap(a.coreMask, b.coreMask)
+}
+
+// sharesAnyCore reports whether the observer shares a physical core with
+// any VM placed on the server.
+func (s *Server) sharesAnyCore(observer *VM) bool {
+	if observer == nil {
+		return false
+	}
+	for _, vm := range s.vms {
+		if vm != observer && masksOverlap(observer.coreMask, vm.coreMask) {
 			return true
 		}
 	}
@@ -279,6 +370,18 @@ func (s *Server) CoreNeighbors(vm *VM) []*VM {
 	for _, other := range s.vms {
 		if other != vm && s.SharesCore(vm, other) {
 			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// VMsOnCore returns the VMs other than observer holding a hyperthread of
+// the given physical core.
+func (s *Server) VMsOnCore(observer *VM, coreIdx int) []*VM {
+	var out []*VM
+	for _, vm := range s.vms {
+		if vm != observer && vm.occupiesCore(coreIdx) {
+			out = append(out, vm)
 		}
 	}
 	return out
@@ -299,156 +402,7 @@ func CacheSpillFactor(d Vector) float64 {
 	return llc / (llc + bw + 20)
 }
 
-// spillScale converts squeezed-cache pressure into extra observed memory
+// SpillScale converts squeezed-cache pressure into extra observed memory
 // bandwidth (dimensionless; <1 because some misses hit deeper caches or
 // get amortised by prefetching).
-const spillScale = 0.4
-
-// ObservedPressure returns the contention a probe inside observer sees on
-// resource r at time t: the (approximately additive, §3.3) sum of the
-// co-residents' demand, attenuated by the host's isolation visibility. Core
-// resources are visible only from VMs sharing a physical core with the
-// source of the pressure; uncore resources are visible host-wide.
-//
-// Memory bandwidth carries a second-order term: when the observer itself
-// occupies LLC capacity, the co-residents' miss rates rise and their DRAM
-// traffic grows in proportion to their cache-spill factors — the coupling
-// the miss-ratio-curve probe measures.
-func (s *Server) ObservedPressure(observer *VM, r Resource, t Tick) float64 {
-	squeeze := 0.0
-	if r == MemBW && observer != nil {
-		squeeze = observer.App.Demand(t).Get(LLC) / 100 * s.cfg.Visibility.Get(LLC)
-	}
-	total := 0.0
-	for _, vm := range s.vms {
-		if vm == observer {
-			continue
-		}
-		if r.IsCore() && !s.SharesCore(observer, vm) {
-			continue
-		}
-		demand := vm.App.Demand(t)
-		total += demand.Get(r)
-		if squeeze > 0 {
-			total += demand.Get(LLC) * CacheSpillFactor(demand) * squeeze * spillScale
-		}
-	}
-	total *= s.cfg.Visibility.Get(r)
-	if total > 100 {
-		total = 100
-	}
-	return total
-}
-
-// VMsOnCore returns the VMs other than observer holding a hyperthread of
-// the given physical core.
-func (s *Server) VMsOnCore(observer *VM, coreIdx int) []*VM {
-	var out []*VM
-	for _, vm := range s.vms {
-		if vm == observer {
-			continue
-		}
-		for _, sl := range vm.slots {
-			if sl.Core == coreIdx {
-				out = append(out, vm)
-				break
-			}
-		}
-	}
-	return out
-}
-
-// ObservedCorePressure returns the contention a probe pinned to the given
-// physical core sees on core-private resource r: only the sibling
-// hyperthreads of that specific core contribute. Because no hyperthread is
-// shared between VMs, this signal belongs to (at most) one co-resident per
-// core — the property §3.3 exploits to measure core pressure accurately in
-// a mixture.
-func (s *Server) ObservedCorePressure(observer *VM, coreIdx int, r Resource, t Tick) float64 {
-	if !r.IsCore() {
-		return s.ObservedPressure(observer, r, t)
-	}
-	total := 0.0
-	for _, vm := range s.VMsOnCore(observer, coreIdx) {
-		total += vm.App.Demand(t).Get(r)
-	}
-	total *= s.cfg.Visibility.Get(r)
-	if total > 100 {
-		total = 100
-	}
-	return total
-}
-
-// ObservedVector returns ObservedPressure for every resource at once.
-func (s *Server) ObservedVector(observer *VM, t Tick) Vector {
-	var v Vector
-	for _, r := range AllResources() {
-		v.Set(r, s.ObservedPressure(observer, r, t))
-	}
-	return v
-}
-
-// Interference returns, for each resource, the contention pressure the
-// victim experiences from all co-residents (core resources only from
-// core-sharing neighbours), attenuated by isolation visibility. This is the
-// input to the slowdown and latency models.
-func (s *Server) Interference(victim *VM, t Tick) Vector {
-	return s.ObservedVector(victim, t)
-}
-
-// Slowdown returns the victim's execution-time dilation factor (≥1) at time
-// t under the host's current co-residents. For each resource the demand
-// beyond capacity is charged to the victim in proportion to its sensitivity;
-// contention on the victim's critical resources therefore hurts far more
-// than the same contention elsewhere — the asymmetry Bolt's DoS attack
-// exploits (§5.1).
-func (s *Server) Slowdown(victim *VM, t Tick) float64 {
-	return SlowdownFor(victim.App.Demand(t), victim.App.Sensitivity(), s.Interference(victim, t))
-}
-
-// SlowdownFor is the contention arithmetic behind Server.Slowdown, exposed
-// so reactive workload models can evaluate it against a hypothetical
-// demand without re-entering the server.
-func SlowdownFor(demand, sens, interference Vector) float64 {
-	slow := 1.0
-	for _, r := range AllResources() {
-		overload := demand.Get(r) + interference.Get(r) - 100
-		if overload <= 0 {
-			continue
-		}
-		slow += sens.Get(r) * overload / 100 * slowdownWeight(r)
-	}
-	return slow
-}
-
-// slowdownWeight scales how much saturating each resource costs. Cache and
-// memory contention dominate execution-time impact on the paper's
-// workloads; capacity resources degrade more gently until exhausted.
-func slowdownWeight(r Resource) float64 {
-	switch r {
-	case L1I, L1D, LLC:
-		return 4
-	case L2:
-		return 2
-	case MemBW, CPU:
-		return 3
-	case NetBW, DiskBW:
-		return 2.5
-	case MemCap, DiskCap:
-		return 1.5
-	}
-	return 1
-}
-
-// CPUUtilization returns the host's aggregate CPU usage in percent at time
-// t — the signal a migration-triggering DoS defence watches (§5.1).
-func (s *Server) CPUUtilization(t Tick) float64 {
-	total := 0.0
-	for _, vm := range s.vms {
-		total += vm.App.Demand(t).Get(CPU)
-	}
-	if total > 100 {
-		total = 100
-	}
-	return total
-}
+const SpillScale = 0.4

@@ -38,13 +38,20 @@ func (r *Reactive) Bind(host *sim.Server, vm *sim.VM) {
 // turn be Reactive; the computing flag breaks that cycle by answering with
 // the raw demand during a nested evaluation (a one-step relaxation of the
 // fixed point, deterministic and plenty accurate for this model).
+//
+// The nested evaluation goes through sim.Server.InterferenceLive, never
+// the cached Interference: the host's observation plane may be mid-build
+// when it evaluates this VM's demand, and the values the relaxation must
+// see (this VM answering with raw demand, everyone else with their full
+// demand) are by design different from the top-level snapshot view. See
+// the observation-plane contract in internal/sim/observation.go.
 func (r *Reactive) Demand(t sim.Tick) sim.Vector {
 	raw := r.App.Demand(t)
 	if r.host == nil || r.vm == nil || r.computing {
 		return raw
 	}
 	r.computing = true
-	interference := r.host.Interference(r.vm, t)
+	interference := r.host.InterferenceLive(r.vm, t)
 	r.computing = false
 
 	sens := r.App.Sensitivity()
