@@ -1,0 +1,61 @@
+// Command boltlint runs the repository's determinism, RNG, and hot-path
+// analyzers over the given packages and exits non-zero on any diagnostic.
+//
+// Usage:
+//
+//	go run ./cmd/boltlint ./...
+//	go run ./cmd/boltlint -analyzers detrand,hotalloc ./internal/sim
+//
+// Suppress a finding with //bolt:nolint <analyzer> -- <reason> (the reason
+// is mandatory); see internal/lint and the "Determinism contract" section
+// of DESIGN.md for the contracts each analyzer enforces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bolt/internal/lint"
+)
+
+func main() {
+	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: boltlint [-analyzers a,b] [packages]\n\nanalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-20s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *names != "" {
+		analyzers = analyzers[:0]
+		for _, n := range strings.Split(*names, ",") {
+			a := lint.ByName(strings.TrimSpace(n))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "boltlint: unknown analyzer %q\n", n)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	pkgs, err := lint.Load(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boltlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "boltlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

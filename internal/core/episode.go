@@ -136,6 +136,8 @@ type Episode struct {
 // detect is Rec.Detect behind the single-entry memo. Callers treat the
 // returned result as read-only (they already do: Step and Candidates hand
 // it out directly), so returning the cached pointer is safe.
+//
+//bolt:hotpath
 func (e *Episode) detect(obs []float64, known []bool) *mining.Result {
 	var o [sim.NumResources]float64
 	var k [sim.NumResources]bool
@@ -155,6 +157,8 @@ func (d *Detector) NewEpisode(s *sim.Server, adv *probe.Adversary) *Episode {
 }
 
 // merge folds a profile's measurements into the per-stream observations.
+//
+//bolt:hotpath
 func (e *Episode) merge(p probe.Profile) {
 	for _, r := range p.Resources {
 		if !p.Known[r] {
@@ -177,12 +181,14 @@ func (e *Episode) merge(p probe.Profile) {
 // only one co-resident exists). The returned slices are the episode's
 // reusable buffers — valid until the next combined call, which is exactly
 // the lifetime the Detect calls below need.
+//
+//bolt:hotpath
 func (e *Episode) combined() ([]float64, []bool) {
 	if e.obsBuf == nil {
 		e.obsBuf = make([]float64, sim.NumResources)
 		e.knownBuf = make([]bool, sim.NumResources)
 	}
-	for _, r := range sim.AllResources() {
+	for r := sim.Resource(0); r < sim.NumResources; r++ {
 		v, k := 0.0, false
 		if r.IsCore() {
 			if e.core.known[r] {

@@ -32,9 +32,9 @@ func Run(exps []Experiment, seed uint64, parallel int) []RunResult {
 	}
 	results := make([]RunResult, len(exps))
 	runOne := func(i int) {
-		start := time.Now()
+		start := time.Now() //bolt:nolint detrand -- Elapsed is diagnostic-only and documented as never compared across runs; no report bytes derive from it
 		rep := exps[i].Run(seed)
-		results[i] = RunResult{Experiment: exps[i], Report: rep, Elapsed: time.Since(start)}
+		results[i] = RunResult{Experiment: exps[i], Report: rep, Elapsed: time.Since(start)} //bolt:nolint detrand -- same: wall-clock feeds only the Elapsed diagnostic field
 	}
 	if parallel <= 1 {
 		for i := range exps {

@@ -1,0 +1,158 @@
+package lint
+
+// analysistest-style golden harness: each testdata/<case> directory is
+// type-checked as a package (under a caller-chosen import path, so
+// package-gated analyzers can be exercised), the analyzer runs with the
+// full suppression machinery, and the diagnostics are matched 1:1 against
+// `// want "regexp"` comments on the offending lines — the same convention
+// as golang.org/x/tools/go/analysis/analysistest, reimplemented on the
+// standard library.
+
+import (
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// testdataImporter builds an export-data importer covering every package
+// the testdata files import (resolved via `go list -deps -export` from the
+// module, exactly like the real driver).
+func testdataImporter(t *testing.T, fset *token.FileSet, dir string, goFiles []string) types.Importer {
+	t.Helper()
+	seen := map[string]bool{}
+	var paths []string
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(token.NewFileSet(), filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if !seen[p] {
+				seen[p] = true
+				paths = append(paths, p)
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(paths) > 0 {
+		listed, err := goList(".", paths)
+		if err != nil {
+			t.Fatalf("resolving testdata imports: %v", err)
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return exportImporter(fset, exports)
+}
+
+// wantRe extracts the quoted regexps of a want comment; both backtick and
+// double-quote delimiters are accepted, as in analysistest.
+var wantRe = regexp.MustCompile("`([^`]+)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// runAnalysisTest type-checks testdata/<subdir> under pkgPath and verifies
+// the analyzer's diagnostics (plus malformed-suppression reports) against
+// the // want comments.
+func runAnalysisTest(t *testing.T, a *Analyzer, pkgPath, subdir string) {
+	t.Helper()
+	diags, sources := analyzeTestdata(t, a, pkgPath, subdir)
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[string]map[int][]*want{} // file -> line -> expectations
+	for file, src := range sources {
+		for i, line := range strings.Split(string(src), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			for _, m := range wantRe.FindAllStringSubmatch(line[idx+len("// want "):], -1) {
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", file, i+1, pat, err)
+				}
+				if wants[file] == nil {
+					wants[file] = map[int][]*want{}
+				}
+				wants[file][i+1] = append(wants[file][i+1], &want{re: re})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		lineWants := wants[d.Position.Filename][d.Position.Line]
+		matched := false
+		for _, w := range lineWants {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	var files []string
+	for file := range wants {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		var lines []int
+		for line := range wants[file] {
+			lines = append(lines, line)
+		}
+		sort.Ints(lines)
+		for _, line := range lines {
+			for _, w := range wants[file][line] {
+				if !w.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, line, w.re)
+				}
+			}
+		}
+	}
+}
+
+// analyzeTestdata loads testdata/<subdir> as package pkgPath and returns
+// the post-suppression diagnostics and the raw sources.
+func analyzeTestdata(t *testing.T, a *Analyzer, pkgPath, subdir string) ([]Diagnostic, map[string][]byte) {
+	t.Helper()
+	dir := filepath.Join("testdata", subdir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	imp := testdataImporter(t, fset, dir, goFiles)
+	pkg, err := checkPackage(fset, imp, pkgPath, dir, goFiles)
+	if err != nil {
+		t.Fatalf("type-checking %s: %v", dir, err)
+	}
+	return Run([]*Package{pkg}, []*Analyzer{a}), pkg.Sources
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// deterministicPkgs are the package paths (and their subpackages) whose
+// output is pinned by the seed-42 golden suite: every bit of randomness in
+// them must flow through stats.RNG, and no ambient process state (clock,
+// environment) may influence results.
+var deterministicPkgs = []string{
+	"bolt/internal/sim",
+	"bolt/internal/mining",
+	"bolt/internal/core",
+	"bolt/internal/exper",
+	"bolt/internal/probe",
+	"bolt/internal/stats",
+}
+
+// isDeterministicPkg reports whether path is one of the deterministic
+// packages or nested under one.
+func isDeterministicPkg(path string) bool {
+	for _, p := range deterministicPkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// DetrandAnalyzer forbids ambient nondeterminism in deterministic packages:
+// math/rand (global or otherwise — randomness must flow through stats.RNG,
+// whose streams the golden tests pin), wall-clock reads (time.Now and
+// friends), and environment reads (os.Getenv — an env-dependent branch makes
+// the suite's output depend on the machine it runs on).
+var DetrandAnalyzer = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid math/rand, wall-clock, and environment reads in deterministic packages",
+	Run:  runDetrand,
+}
+
+// detrandForbiddenCalls maps fully qualified functions to the reason they
+// are forbidden in deterministic packages.
+var detrandForbiddenCalls = map[string]string{
+	"time.Now":       "wall-clock read",
+	"time.Since":     "wall-clock read",
+	"time.Until":     "wall-clock read",
+	"os.Getenv":      "environment read",
+	"os.LookupEnv":   "environment read",
+	"os.Environ":     "environment read",
+	"os.ExpandEnv":   "environment read",
+	"os.Hostname":    "host-identity read",
+	"os.Getpid":      "process-identity read",
+	"runtime.NumCPU": "host-topology read",
+}
+
+func runDetrand(pass *Pass) {
+	if !isDeterministicPkg(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"deterministic package imports %s; all randomness must flow through stats.RNG so the seed-42 golden stream stays byte-identical", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcObj(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			name := fn.Pkg().Path() + "." + fn.Name()
+			if why, bad := detrandForbiddenCalls[name]; bad {
+				pass.Reportf(call.Pos(),
+					"%s (%s) in deterministic package %s; results must be a pure function of the seed", name, why, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+}

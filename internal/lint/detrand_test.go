@@ -1,0 +1,16 @@
+package lint
+
+import "testing"
+
+func TestDetrand(t *testing.T) {
+	runAnalysisTest(t, DetrandAnalyzer, "bolt/internal/sim", "detrand")
+}
+
+// TestDetrandIgnoresOtherPackages checks the package gate: the same source,
+// type-checked under a path outside the deterministic set, is clean.
+func TestDetrandIgnoresOtherPackages(t *testing.T) {
+	diags, _ := analyzeTestdata(t, DetrandAnalyzer, "bolt/cmd/boltexp", "detrand")
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic outside deterministic packages: %s: %s", d.Position, d.Message)
+	}
+}

@@ -1,0 +1,387 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotallocAnalyzer is the static complement to the allocation-budget tests
+// in internal/mining/alloc_test.go: inside a function annotated
+// //bolt:hotpath it flags the constructs that reach the allocator —
+// escaping composite literals, unguarded make/new, appends without capacity
+// provenance, escaping closures, interface boxing of non-pointer values,
+// and calls to the repo's known allocating convenience helpers (for which
+// an in-package allocation-free form exists).
+//
+// The checks are necessarily approximations of escape analysis, so the
+// analyzer errs on the side of reporting and relies on //bolt:nolint with a
+// reason for the deliberate allocations (e.g. a documented per-call Result).
+// Two idioms are recognised as allocation-free and accepted without
+// annotation: make/append under a lazy-init or capacity guard
+// (`if buf == nil`, `if cap(buf) < n`), and append to a slice reset with
+// `buf = buf[:0]` earlier in the function.
+var HotallocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocation constructs in //bolt:hotpath functions",
+	Run:  runHotalloc,
+}
+
+// allocatingHelpers are repo functions that allocate on every call and have
+// a documented in-package alternative for hot paths.
+var allocatingHelpers = map[string]string{
+	"bolt/internal/sim.AllResources":            "loop over Resource(0)..NumResources instead",
+	"bolt/internal/sim.CoreResources":           "loop over the resource indices directly",
+	"bolt/internal/sim.UncoreResources":         "loop over the resource indices directly",
+	"(*bolt/internal/sim.Server).VMs":           "iterate s.vms directly in package sim",
+	"(*bolt/internal/sim.Server).CoreNeighbors": "iterate s.vms with SharesCore",
+	"(*bolt/internal/sim.Server).VMsOnCore":     "iterate s.vms with occupiesCore",
+	"(*bolt/internal/sim.VM).Slots":             "iterate vm.slots directly in package sim",
+	"(*bolt/internal/sim.VM).Cores":             "use vm.coreList / vm.coreMask in package sim",
+	"(*bolt/internal/stats.RNG).Perm":           "use RNG.PermInto with a reused buffer",
+}
+
+func runHotalloc(pass *Pass) {
+	for _, fn := range hotpathFuncs(pass) {
+		if fn.Body == nil {
+			continue
+		}
+		checkHotFunc(pass, fn)
+	}
+}
+
+// checkHotFunc inspects one annotated function body.
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	parent := parentMap(fn.Body)
+	guarded := guardedRanges(fn.Body)
+	provenanced := capacityProvenanced(pass, fn.Body)
+	closures := localClosures(pass, fn.Body)
+
+	inGuard := func(n ast.Node) bool {
+		for _, r := range guarded {
+			if n.Pos() >= r[0] && n.End() <= r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, node, parent, inGuard)
+		case *ast.CallExpr:
+			checkHotCall(pass, node, provenanced, inGuard)
+		case *ast.FuncLit:
+			checkFuncLit(pass, node, parent, closures)
+		case *ast.AssignStmt:
+			checkBoxingAssign(pass, node)
+		}
+		return true
+	})
+
+	// Any use of a local closure other than calling it means the closure
+	// escapes (and therefore allocates its context).
+	for obj, lit := range closures {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != obj {
+				return true
+			}
+			if call, ok := parent[id].(*ast.CallExpr); ok && call.Fun == id {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"closure %s escapes its defining hot-path function; its captured variables move to the heap", obj.Name())
+			_ = lit
+			return true
+		})
+	}
+}
+
+// checkCompositeLit flags composite literals that reach the allocator:
+// slice and map literals always, struct/array literals when their address
+// is taken.
+func checkCompositeLit(pass *Pass, lit *ast.CompositeLit, parent map[ast.Node]ast.Node, inGuard func(ast.Node) bool) {
+	if inGuard(lit) {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		pass.Reportf(lit.Pos(), "composite %s literal allocates on a hot path", kindName(t))
+		return
+	}
+	if u, ok := parent[lit].(*ast.UnaryExpr); ok && u.Op == token.AND {
+		pass.Reportf(lit.Pos(), "&%s composite literal escapes to the heap on a hot path", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// checkHotCall flags allocating calls: make/new, unprovenanced append,
+// boxing call arguments, and the repo's known allocating helpers.
+func checkHotCall(pass *Pass, call *ast.CallExpr, provenanced map[string]bool, inGuard func(ast.Node) bool) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				if !inGuard(call) {
+					pass.Reportf(call.Pos(),
+						"%s allocates on a hot path; reuse a buffer or guard it as a lazy init (if buf == nil / if cap(buf) < n)", b.Name())
+				}
+			case "append":
+				checkHotAppend(pass, call, provenanced, inGuard)
+			case "panic":
+				for _, arg := range call.Args {
+					checkBoxedValue(pass, arg, types.NewInterfaceType(nil, nil), "panic argument")
+				}
+			}
+			return
+		}
+	}
+
+	// Conversions to interface types.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && len(call.Args) == 1 {
+			checkBoxedValue(pass, call.Args[0], tv.Type.Underlying().(*types.Interface), "conversion")
+		}
+		return
+	}
+
+	// Known allocating helpers.
+	if fn := funcObj(pass.TypesInfo, call); fn != nil {
+		if hint, bad := allocatingHelpers[fn.FullName()]; bad && !inGuard(call) {
+			pass.Reportf(call.Pos(), "%s allocates its result on every call; %s", fn.FullName(), hint)
+		}
+	}
+
+	// Boxing of call arguments into interface parameters.
+	sig, ok := typeAsSignature(pass.TypesInfo.TypeOf(call.Fun))
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if iface, isIface := pt.Underlying().(*types.Interface); isIface {
+			checkBoxedValue(pass, arg, iface, "argument")
+		}
+	}
+}
+
+// checkHotAppend accepts append whose destination has capacity provenance
+// in this function (reset via buf[:0], sized with make, or a slice
+// expression inline); anything else is a potential grow-and-copy.
+func checkHotAppend(pass *Pass, call *ast.CallExpr, provenanced map[string]bool, inGuard func(ast.Node) bool) {
+	if len(call.Args) == 0 || inGuard(call) {
+		return
+	}
+	dst := ast.Unparen(call.Args[0])
+	if _, ok := dst.(*ast.SliceExpr); ok {
+		return // append(buf[:0], ...) — capacity reused in place
+	}
+	if provenanced[types.ExprString(dst)] {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"append without capacity provenance on a hot path; pre-size the buffer (make with capacity, or reset with buf = buf[:0])")
+}
+
+// checkBoxingAssign flags assignments that box a non-pointer value into an
+// interface-typed location.
+func checkBoxingAssign(pass *Pass, st *ast.AssignStmt) {
+	if len(st.Lhs) != len(st.Rhs) {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		lt := pass.TypesInfo.TypeOf(lhs)
+		if lt == nil {
+			continue
+		}
+		if iface, ok := lt.Underlying().(*types.Interface); ok {
+			checkBoxedValue(pass, st.Rhs[i], iface, "assignment")
+		}
+	}
+}
+
+// checkBoxedValue reports arg when storing it in an interface allocates:
+// concrete, not pointer-shaped, and not a compile-time constant (constant
+// data is materialised in static memory by the compiler).
+func checkBoxedValue(pass *Pass, arg ast.Expr, _ *types.Interface, what string) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value != nil {
+		return // constants never box at run time
+	}
+	t := tv.Type
+	if t == nil {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Interface:
+		return // interface-to-interface, no box
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped, stored directly in the interface word
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer || u.Info()&types.IsUntyped != 0 {
+			return
+		}
+	}
+	pass.Reportf(arg.Pos(),
+		"interface %s boxes %s on a hot path; keep the value concrete or pass a pointer",
+		what, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+}
+
+// typeAsSignature unwraps a call target's type to its signature.
+func typeAsSignature(t types.Type) (*types.Signature, bool) {
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// kindName names a type's allocation-relevant kind for diagnostics.
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	default:
+		return "value"
+	}
+}
+
+// parentMap records each node's parent within root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// guardedRanges returns the position ranges of if-bodies whose condition is
+// a lazy-init or capacity check (mentions nil, cap, or len) — allocations
+// inside them run once or only on growth, not per call.
+func guardedRanges(body *ast.BlockStmt) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifst, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		guard := false
+		ast.Inspect(ifst.Cond, func(c ast.Node) bool {
+			if id, ok := c.(*ast.Ident); ok {
+				switch id.Name {
+				case "nil", "cap", "len":
+					guard = true
+				}
+			}
+			return !guard
+		})
+		if guard {
+			out = append(out, [2]token.Pos{ifst.Body.Pos(), ifst.Body.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// capacityProvenanced collects expressions (rendered as source strings)
+// that are re-sliced or sized with make anywhere in the function, granting
+// capacity provenance to appends targeting them.
+func capacityProvenanced(pass *Pass, body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || len(st.Lhs) != len(st.Rhs) {
+			return true
+		}
+		for i, rhs := range st.Rhs {
+			switch r := ast.Unparen(rhs).(type) {
+			case *ast.SliceExpr:
+				out[types.ExprString(ast.Unparen(st.Lhs[i]))] = true
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(r.Fun).(*ast.Ident); ok {
+					if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+						out[types.ExprString(ast.Unparen(st.Lhs[i]))] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// localClosures finds `name := func(...) {...}` closures assigned to plain
+// local variables; calling such a closure is allocation-free as long as it
+// never escapes.
+func localClosures(pass *Pass, body *ast.BlockStmt) map[types.Object]*ast.FuncLit {
+	out := map[types.Object]*ast.FuncLit{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || len(st.Lhs) != len(st.Rhs) {
+			return true
+		}
+		for i, rhs := range st.Rhs {
+			lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				out[obj] = lit
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkFuncLit flags function literals that are neither immediately
+// invoked nor bound to a call-only local.
+func checkFuncLit(pass *Pass, lit *ast.FuncLit, parent map[ast.Node]ast.Node, closures map[types.Object]*ast.FuncLit) {
+	if call, ok := parent[lit].(*ast.CallExpr); ok && call.Fun == lit {
+		return // immediately invoked, inlined by the compiler
+	}
+	for _, l := range closures {
+		if l == lit {
+			return // judged via its variable's uses
+		}
+	}
+	pass.Reportf(lit.Pos(),
+		"function literal on a hot path allocates its closure; hoist it or pass state explicitly")
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestHotalloc(t *testing.T) {
+	runAnalysisTest(t, HotallocAnalyzer, "bolt/internal/mining", "hotalloc")
+}

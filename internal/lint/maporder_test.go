@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestMaporder(t *testing.T) {
+	runAnalysisTest(t, MaporderAnalyzer, "bolt/internal/exper", "maporder")
+}

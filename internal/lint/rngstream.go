@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// RngstreamAnalyzer forbids constructing a stats.RNG inside a loop. Every
+// golden test in the repository pins the exact sequence of draws from a
+// seed; a NewRNG(derivedSeed) in a loop body mints a fresh stream per
+// iteration, which both changes the pinned sequences (seed arithmetic
+// replaces stream consumption) and reintroduces the seed-correlation
+// problems Split exists to avoid. Derive one generator before the loop, or
+// split a parent stream with rng.Split() — Split advances the parent, so
+// the draw is accounted for in the golden sequence.
+var RngstreamAnalyzer = &Analyzer{
+	Name: "rngstream",
+	Doc:  "forbid stats.NewRNG inside loops (per-iteration stream splitting)",
+	Run:  runRngstream,
+}
+
+const statsNewRNG = "bolt/internal/stats.NewRNG"
+
+func runRngstream(pass *Pass) {
+	for _, f := range pass.Files {
+		var loopDepth int
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.ForStmt:
+				if node.Init != nil {
+					ast.Inspect(node.Init, walk)
+				}
+				if node.Cond != nil {
+					ast.Inspect(node.Cond, walk)
+				}
+				if node.Post != nil {
+					ast.Inspect(node.Post, walk)
+				}
+				loopDepth++
+				ast.Inspect(node.Body, walk)
+				loopDepth--
+				return false
+			case *ast.RangeStmt:
+				ast.Inspect(node.X, walk)
+				loopDepth++
+				ast.Inspect(node.Body, walk)
+				loopDepth--
+				return false
+			case *ast.CallExpr:
+				if loopDepth > 0 {
+					if fn := funcObj(pass.TypesInfo, node); fn != nil && fn.FullName() == statsNewRNG {
+						pass.Reportf(node.Pos(),
+							"stats.NewRNG inside a loop mints a new stream per iteration and changes the pinned golden RNG sequences; construct the generator outside the loop or use rng.Split()")
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+}

@@ -1,0 +1,14 @@
+package lint
+
+import "testing"
+
+func TestRngstream(t *testing.T) {
+	runAnalysisTest(t, RngstreamAnalyzer, "bolt/internal/exper", "rngstream")
+}
+
+// TestNolintWithoutReason pins the suppression contract: a bare
+// //bolt:nolint with no `-- reason` suppresses nothing, and the malformed
+// directive is itself reported under the pseudo-analyzer name "nolint".
+func TestNolintWithoutReason(t *testing.T) {
+	runAnalysisTest(t, RngstreamAnalyzer, "bolt/internal/exper", "nolintreason")
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestSnapshotDiscipline(t *testing.T) {
+	runAnalysisTest(t, SnapshotAnalyzer, "bolt/internal/attack", "snapshot")
+}

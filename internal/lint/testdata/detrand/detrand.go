@@ -1,0 +1,34 @@
+// Test fixture for the detrand analyzer, type-checked under the package
+// path bolt/internal/sim so the deterministic-package gate applies.
+package sim
+
+import (
+	"math/rand" // want `deterministic package imports math/rand`
+	"os"
+	"time"
+)
+
+var sink float64
+
+func ambient() {
+	sink = rand.Float64()
+	_ = time.Now()        // want `time.Now \(wall-clock read\)`
+	_ = os.Getenv("HOME") // want `os.Getenv \(environment read\)`
+}
+
+func envBranch() int {
+	if v, ok := os.LookupEnv("BOLT_FAST"); ok && v != "" { // want `os.LookupEnv \(environment read\)`
+		return 1
+	}
+	return 0
+}
+
+// durationsOK: the time package itself is fine; only clock reads are not.
+func durationsOK(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+func timedSuppressed() {
+	start := time.Now() //bolt:nolint detrand -- wall-clock timing is reported to stderr only, never folded into results
+	_ = start
+}

@@ -1,0 +1,117 @@
+// Test fixture for the hotalloc analyzer.
+package hotalloc
+
+import "bolt/internal/sim"
+
+type item struct{ a, b float64 }
+
+type store struct {
+	buf  []int
+	lazy []float64
+}
+
+//bolt:hotpath
+func badLiterals(n int) *item {
+	xs := map[string]int{} // want `composite map literal allocates`
+	p := &item{a: 1}       // want `&item composite literal escapes`
+	_ = xs
+	_ = n
+	return p
+}
+
+//bolt:hotpath
+func badSliceLit() []int {
+	return []int{1, 2, 3} // want `composite slice literal allocates`
+}
+
+//bolt:hotpath
+func badMake(n int) []float64 {
+	return make([]float64, n) // want `make allocates on a hot path`
+}
+
+//bolt:hotpath
+func badAppend(dst []int, v int) []int {
+	return append(dst, v) // want `append without capacity provenance`
+}
+
+// okAppend: the destination was reset with buf[:0], so capacity is reused.
+//
+//bolt:hotpath
+func okAppend(s *store, v int) {
+	s.buf = s.buf[:0]
+	s.buf = append(s.buf, v)
+}
+
+// okLazy: make under a nil/cap guard runs once (or only on growth).
+//
+//bolt:hotpath
+func okLazy(s *store, n int) []float64 {
+	if s.lazy == nil {
+		s.lazy = make([]float64, n)
+	}
+	if cap(s.buf) < n {
+		s.buf = make([]int, n)
+	}
+	return s.lazy
+}
+
+var global func()
+
+//bolt:hotpath
+func badClosure(x int) {
+	f := func() { _ = x }
+	global = f // want `closure f escapes`
+}
+
+// okClosure: a local closure that is only ever called stays on the stack.
+//
+//bolt:hotpath
+func okClosure(x int) int {
+	inc := func() { x++ }
+	inc()
+	inc()
+	return x
+}
+
+func sinkAny(v any) { _ = v }
+
+//bolt:hotpath
+func badBox(x float64) {
+	sinkAny(x) // want `interface argument boxes float64`
+}
+
+//bolt:hotpath
+func badPanic(n int) {
+	if n < 0 {
+		panic(n) // want `interface panic argument boxes int`
+	}
+}
+
+// okBoxes: pointers are stored directly in the interface word, and
+// constants are materialised in static memory.
+//
+//bolt:hotpath
+func okBoxes(p *item) {
+	sinkAny(p)
+	sinkAny("constant")
+	panic("mining: length mismatch")
+}
+
+//bolt:hotpath
+func badHelper() int {
+	total := 0
+	for _, r := range sim.AllResources() { // want `AllResources allocates its result on every call`
+		total += int(r)
+	}
+	return total
+}
+
+//bolt:hotpath
+func suppressedResult(n int) []float64 {
+	return make([]float64, n) //bolt:nolint hotalloc -- the returned slice is the documented per-call allocation, pinned by an alloc budget test
+}
+
+// unannotated functions are not checked.
+func unannotated(n int) []int {
+	return make([]int, n)
+}

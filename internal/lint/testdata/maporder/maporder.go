@@ -1,0 +1,84 @@
+// Test fixture for the maporder analyzer.
+package maporder
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+func floatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `float64 accumulation inside map iteration`
+	}
+	return total
+}
+
+func stringConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s = s + k // want `string accumulation inside map iteration`
+	}
+	return s
+}
+
+// intAccumOK: integer addition is exactly associative, so the sum is
+// order-independent.
+func intAccumOK(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to a slice that is not sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// appendThenSortOK is the collect-then-sort idiom.
+func appendThenSortOK(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func output(m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(os.Stdout, "%s=%d\n", k, v) // want `Fprintf inside map iteration`
+	}
+}
+
+// keyedWriteOK: each key is visited exactly once, so keyed writes commute.
+func keyedWriteOK(m map[string]float64, out map[string]float64) {
+	for k, v := range m {
+		out[k] += v * 2
+	}
+}
+
+// minMaxOK: plain overwrite tracking (no self-reference) commutes.
+func minMaxOK(m map[string]float64) float64 {
+	maxv := 0.0
+	for _, v := range m {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	return maxv
+}
+
+func suppressed(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v //bolt:nolint maporder -- total probability mass: every summation order is later rounded to the same value
+	}
+	return total
+}

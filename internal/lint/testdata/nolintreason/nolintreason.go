@@ -1,0 +1,14 @@
+// Test fixture: a //bolt:nolint without the mandatory `-- reason` must not
+// suppress the underlying diagnostic, and is itself reported.
+package nolintreason
+
+import "bolt/internal/stats"
+
+func missingReason(seeds []uint64) float64 {
+	total := 0.0
+	for _, s := range seeds {
+		r := stats.NewRNG(s) //bolt:nolint rngstream  // want `stats.NewRNG inside a loop` `requires a reason`
+		total += r.Float64()
+	}
+	return total
+}

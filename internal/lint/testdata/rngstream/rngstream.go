@@ -1,0 +1,52 @@
+// Test fixture for the rngstream analyzer.
+package rngstream
+
+import "bolt/internal/stats"
+
+func perIteration(seed uint64, n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		r := stats.NewRNG(seed + uint64(i)) // want `stats.NewRNG inside a loop`
+		total += r.Float64()
+	}
+	return total
+}
+
+func perElement(seeds []uint64) float64 {
+	total := 0.0
+	for _, s := range seeds {
+		total += stats.NewRNG(s).Float64() // want `stats.NewRNG inside a loop`
+	}
+	return total
+}
+
+// splitOK: Split advances the parent stream, so the derived generators are
+// part of the pinned golden sequence.
+func splitOK(seed uint64, n int) float64 {
+	root := stats.NewRNG(seed)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		r := root.Split()
+		total += r.Float64()
+	}
+	return total
+}
+
+// outsideOK: one generator, constructed before the loop.
+func outsideOK(seed uint64, n int) float64 {
+	r := stats.NewRNG(seed)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += r.Float64()
+	}
+	return total
+}
+
+func suppressed(seeds []uint64) float64 {
+	total := 0.0
+	for _, s := range seeds {
+		r := stats.NewRNG(s) //bolt:nolint rngstream -- each element is an independent pre-registered experiment seed, not a derived stream
+		total += r.Float64()
+	}
+	return total
+}

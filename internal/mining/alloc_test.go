@@ -1,6 +1,11 @@
 package mining
 
 import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
 	"testing"
 
 	"bolt/internal/stats"
@@ -61,5 +66,68 @@ func TestCompleteAllocationBudget(t *testing.T) {
 	// Exactly the returned dense slice.
 	if allocs > 1.5 {
 		t.Errorf("Complete allocated %.2f objects/op, budget is 1", allocs)
+	}
+}
+
+// hotpathBudget maps every //bolt:hotpath-annotated function in this
+// package to the allocation-budget test that pins its behaviour. The
+// boltlint hotalloc analyzer checks annotated functions statically; this
+// registry guarantees the dynamic side — each annotated function is
+// exercised under an AllocsPerRun budget, directly or via its sole caller.
+var hotpathBudget = map[string]string{
+	"Detect":            "TestDetectAllocationBudget",
+	"DetectDense":       "TestDetectAllocationBudget",
+	"detect":            "TestDetectAllocationBudget",
+	"sortMatches":       "TestDetectAllocationBudget",
+	"proximity":         "TestDetectAllocationBudget",
+	"Dot":               "TestDetectAllocationBudget",
+	"Axpy":              "TestCompleteIntoAllocationFree",
+	"sgdStep":           "TestCompleteIntoAllocationFree",
+	"foldStep":          "TestCompleteIntoAllocationFree",
+	"CompleteInto":      "TestCompleteIntoAllocationFree",
+	"neighbourEstimate": "TestCompleteIntoAllocationFree",
+	"gaussKernel":       "TestCompleteIntoAllocationFree",
+}
+
+// TestHotpathAnnotationsCovered fails when a //bolt:hotpath annotation is
+// added without extending the budget registry above (or when the registry
+// goes stale). Keeping the two in lockstep means "annotated" always implies
+// "has an allocation budget".
+func TestHotpathAnnotationsCovered(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotated := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Doc == nil {
+					continue
+				}
+				for _, c := range fn.Doc.List {
+					if strings.TrimSpace(c.Text) == "//bolt:hotpath" {
+						annotated[fn.Name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	if len(annotated) == 0 {
+		t.Fatal("no //bolt:hotpath annotations found in package mining")
+	}
+	for name := range annotated {
+		if hotpathBudget[name] == "" {
+			t.Errorf("hot-path function %s has no allocation budget; add it to hotpathBudget and cover it in a budget test", name)
+		}
+	}
+	for name := range hotpathBudget {
+		if !annotated[name] {
+			t.Errorf("hotpathBudget entry %s is stale: no //bolt:hotpath annotation on such a function", name)
+		}
 	}
 }

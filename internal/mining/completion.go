@@ -190,6 +190,8 @@ func (c *Completer) Complete(observed []float64, known []bool) []float64 {
 // instead of allocating it — the allocation-free form the recommender's
 // detection hot path uses. dst may alias neither observed nor the scratch
 // internals; it is fully overwritten.
+//
+//bolt:hotpath
 func (c *Completer) CompleteInto(dst, observed []float64, known []bool) {
 	if len(observed) != c.n || len(known) != c.n {
 		panic("mining: Complete length mismatch")
@@ -271,6 +273,8 @@ func (c *Completer) CompleteInto(dst, observed []float64, known []bool) {
 // (s.kidx). Weights follow a Gaussian kernel on the RMS distance, so close
 // rows dominate and far rows contribute nothing. The returned slice is
 // s.est, valid until the scratch is reused.
+//
+//bolt:hotpath
 func (c *Completer) neighbourEstimate(s *completeScratch, observed []float64) []float64 {
 	const kernelWidth = 12.0 // pressure points
 	est := s.est[:c.n]
@@ -311,6 +315,8 @@ func (c *Completer) neighbourEstimate(s *completeScratch, observed []float64) []
 
 // gaussKernel returns exp(−rms²/(2w²)) given the squared RMS distance,
 // cutting off to exactly zero for far rows.
+//
+//bolt:hotpath
 func gaussKernel(rmsSquared, width float64) float64 {
 	x := rmsSquared / (2 * width * width)
 	if x > 30 {

@@ -9,6 +9,8 @@ package mining
 
 // Dot returns the inner product of two equal-length vectors. The sum is
 // accumulated strictly left to right, exactly like the naive loop.
+//
+//bolt:hotpath
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("mining: Dot length mismatch")
@@ -31,6 +33,8 @@ func Dot(a, b []float64) float64 {
 
 // Axpy computes y[i] += alpha*x[i] over equal-length vectors — the
 // accumulation kernel of the neighbourhood estimate.
+//
+//bolt:hotpath
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("mining: Axpy length mismatch")
@@ -56,6 +60,8 @@ func Axpy(alpha float64, x, y []float64) {
 //
 // This is the inner loop of NewCompleter with the temporaries hoisted; the
 // per-element expressions are unchanged.
+//
+//bolt:hotpath
 func sgdStep(p, q []float64, lr, err, reg float64) {
 	if len(p) != len(q) {
 		panic("mining: sgdStep length mismatch")
@@ -70,6 +76,8 @@ func sgdStep(p, q []float64, lr, err, reg float64) {
 // foldStep applies one ridge-SGD fold-in update for a single observation:
 // u[k] += lr*(err*q[k] - reg*u[k]), the inner loop of CompleteInto's
 // fold-in solve with the per-element expression unchanged.
+//
+//bolt:hotpath
 func foldStep(u, q []float64, lr, err, reg float64) {
 	if len(u) != len(q) {
 		panic("mining: foldStep length mismatch")

@@ -279,6 +279,8 @@ func (r *Recommender) ResourceValue() []float64 {
 // every training profile. Directly measured resources carry more weight in
 // the match than completed (inferred) ones, since the latter inherit the
 // training set's biases.
+//
+//bolt:hotpath
 func (r *Recommender) Detect(observed []float64, known []bool) *Result {
 	s := r.scratch.Get().(*detectScratch)
 	defer r.scratch.Put(s)
@@ -297,6 +299,8 @@ const proximityScale = 25.0
 
 // proximity returns exp(-wrmse/proximityScale) for the weighted RMS
 // distance between two profiles; weights nil means uniform.
+//
+//bolt:hotpath
 func proximity(a, b, weights []float64) float64 {
 	num, den := 0.0, 0.0
 	for j := range a {
@@ -324,6 +328,8 @@ func proximity(a, b, weights []float64) float64 {
 // the application-specific information about which resources matter is
 // preserved — the paper's stated reason for rejecting the traditional
 // unweighted coefficient.
+//
+//bolt:hotpath
 func (r *Recommender) DetectDense(pressure []float64) *Result {
 	s := r.scratch.Get().(*detectScratch)
 	defer r.scratch.Put(s)
@@ -333,13 +339,15 @@ func (r *Recommender) DetectDense(pressure []float64) *Result {
 // detect ranks pressure against the training profiles; known (optional)
 // marks which entries were directly measured and should dominate the match.
 // s supplies the working buffers; only the returned Result is allocated.
+//
+//bolt:hotpath
 func (r *Recommender) detect(pressure []float64, known []bool, s *detectScratch) *Result {
 	if len(pressure) != r.n {
 		panic("mining: DetectDense length mismatch")
 	}
-	res := &Result{
-		Pressure: append([]float64(nil), pressure...),
-		Matches:  make([]Match, len(r.profiles)),
+	res := &Result{ //bolt:nolint hotalloc -- the escaping Result is the documented output; TestDetectAllocationBudget pins Detect at exactly these 3 allocs
+		Pressure: append([]float64(nil), pressure...), //bolt:nolint hotalloc -- alloc 2 of 3 in the pinned budget: the caller keeps Pressure after scratch is recycled
+		Matches:  make([]Match, len(r.profiles)),      //bolt:nolint hotalloc -- alloc 3 of 3 in the pinned budget: the caller keeps Matches after scratch is recycled
 	}
 	weights := r.weights
 	if known != nil {
@@ -409,6 +417,8 @@ func (r *Recommender) detect(pressure []float64, known []bool, s *detectScratch)
 // without the interface conversion and closure allocations, which were the
 // last per-call allocations on the detection hot path. Training sets are a
 // few hundred profiles, well inside insertion sort's comfort zone.
+//
+//bolt:hotpath
 func sortMatches(m []Match) {
 	for i := 1; i < len(m); i++ {
 		x := m[i]

@@ -71,6 +71,8 @@ func (o *obsPlane) versionsCurrent() bool {
 // observation returns the snapshot for tick t, rebuilding it if stale. It
 // returns nil while a rebuild is in progress (a Demander re-entered the
 // observation plane); callers then use the live path.
+//
+//bolt:hotpath
 func (s *Server) observation(t Tick) *obsPlane {
 	o := &s.obs
 	if o.building {
@@ -112,6 +114,8 @@ func (s *Server) freshObservation(t Tick) *obsPlane {
 // squeezeFor returns the observer's cache-squeeze coefficient for the
 // MemBW coupling term, reading the observer's demand from the snapshot
 // when it is placed on this server (the common case).
+//
+//bolt:hotpath
 func (s *Server) squeezeFor(o *obsPlane, observer *VM, t Tick) float64 {
 	if observer == nil {
 		return 0
@@ -134,6 +138,8 @@ func (s *Server) squeezeFor(o *obsPlane, observer *VM, t Tick) float64 {
 // occupies LLC capacity, the co-residents' miss rates rise and their DRAM
 // traffic grows in proportion to their cache-spill factors — the coupling
 // the miss-ratio-curve probe measures.
+//
+//bolt:hotpath
 func (s *Server) ObservedPressure(observer *VM, r Resource, t Tick) float64 {
 	if r.IsCore() && !s.sharesAnyCore(observer) {
 		// No core-sharing neighbour contributes, so the sum is empty; skip
@@ -148,6 +154,8 @@ func (s *Server) ObservedPressure(observer *VM, r Resource, t Tick) float64 {
 }
 
 // observedPressureFrom answers a single-resource query from the snapshot.
+//
+//bolt:hotpath
 func (s *Server) observedPressureFrom(o *obsPlane, observer *VM, r Resource, t Tick) float64 {
 	squeeze := 0.0
 	if r == MemBW {
@@ -176,6 +184,8 @@ func (s *Server) observedPressureFrom(o *obsPlane, observer *VM, r Resource, t T
 
 // observedPressureLive is the uncached single-resource path, used while
 // the snapshot is being rebuilt. It is the pre-snapshot implementation.
+//
+//bolt:hotpath
 func (s *Server) observedPressureLive(observer *VM, r Resource, t Tick) float64 {
 	squeeze := 0.0
 	if r == MemBW && observer != nil {
@@ -209,6 +219,8 @@ func (s *Server) observedPressureLive(observer *VM, r Resource, t Tick) float64 
 // core — the property §3.3 exploits to measure core pressure accurately in
 // a mixture. It rides an existing snapshot but never forces a rebuild: its
 // live cost is bounded by the VMs on one core.
+//
+//bolt:hotpath
 func (s *Server) ObservedCorePressure(observer *VM, coreIdx int, r Resource, t Tick) float64 {
 	if !r.IsCore() {
 		return s.ObservedPressure(observer, r, t)
@@ -239,6 +251,8 @@ func (s *Server) ObservedCorePressure(observer *VM, coreIdx int, r Resource, t T
 // their contributions in placement order — the same floating-point
 // operation sequence as the original one-resource-at-a-time loops, so the
 // fused pass is bit-identical to them.
+//
+//bolt:hotpath
 func accumulateObserved(totals *[NumResources]float64, demand *Vector, shares bool, squeeze float64) {
 	for ri := 0; ri < NumResources; ri++ {
 		r := Resource(ri)
@@ -254,6 +268,8 @@ func accumulateObserved(totals *[NumResources]float64, demand *Vector, shares bo
 
 // finishObserved applies visibility attenuation and the 100-percent clamp
 // to the accumulated sums.
+//
+//bolt:hotpath
 func (s *Server) finishObserved(totals *[NumResources]float64) Vector {
 	var v Vector
 	for ri := 0; ri < NumResources; ri++ {
@@ -267,6 +283,8 @@ func (s *Server) finishObserved(totals *[NumResources]float64) Vector {
 }
 
 // observedVectorFrom is the fused full-vector pass over the snapshot.
+//
+//bolt:hotpath
 func (s *Server) observedVectorFrom(o *obsPlane, observer *VM, t Tick) Vector {
 	squeeze := s.squeezeFor(o, observer, t)
 	var totals [NumResources]float64
@@ -281,6 +299,8 @@ func (s *Server) observedVectorFrom(o *obsPlane, observer *VM, t Tick) Vector {
 
 // ObservedVector returns ObservedPressure for every resource at once, in a
 // single fused pass over the snapshot.
+//
+//bolt:hotpath
 func (s *Server) ObservedVector(observer *VM, t Tick) Vector {
 	if o := s.observation(t); o != nil {
 		return s.observedVectorFrom(o, observer, t)
@@ -293,6 +313,8 @@ func (s *Server) ObservedVector(observer *VM, t Tick) Vector {
 // core-sharing neighbours), attenuated by isolation visibility. This is the
 // input to the slowdown and latency models. It is served from the per-tick
 // snapshot; re-entrant evaluation must use InterferenceLive.
+//
+//bolt:hotpath
 func (s *Server) Interference(victim *VM, t Tick) Vector {
 	return s.ObservedVector(victim, t)
 }
@@ -304,6 +326,8 @@ func (s *Server) Interference(victim *VM, t Tick) Vector {
 // the values it sees there (raw demand from the VM being computed, full
 // demand from everyone else) are deliberately different from the top-level
 // snapshot view.
+//
+//bolt:hotpath
 func (s *Server) InterferenceLive(victim *VM, t Tick) Vector {
 	squeeze := 0.0
 	if victim != nil {
@@ -326,6 +350,8 @@ func (s *Server) InterferenceLive(victim *VM, t Tick) Vector {
 // contention on the victim's critical resources therefore hurts far more
 // than the same contention elsewhere — the asymmetry Bolt's DoS attack
 // exploits (§5.1).
+//
+//bolt:hotpath
 func (s *Server) Slowdown(victim *VM, t Tick) float64 {
 	if o := s.observation(t); o != nil {
 		demand, found := Vector{}, false
@@ -346,9 +372,11 @@ func (s *Server) Slowdown(victim *VM, t Tick) float64 {
 // SlowdownFor is the contention arithmetic behind Server.Slowdown, exposed
 // so reactive workload models can evaluate it against a hypothetical
 // demand without re-entering the server.
+//
+//bolt:hotpath
 func SlowdownFor(demand, sens, interference Vector) float64 {
 	slow := 1.0
-	for _, r := range AllResources() {
+	for r := Resource(0); r < NumResources; r++ {
 		overload := demand.Get(r) + interference.Get(r) - 100
 		if overload <= 0 {
 			continue
@@ -361,6 +389,8 @@ func SlowdownFor(demand, sens, interference Vector) float64 {
 // slowdownWeight scales how much saturating each resource costs. Cache and
 // memory contention dominate execution-time impact on the paper's
 // workloads; capacity resources degrade more gently until exhausted.
+//
+//bolt:hotpath
 func slowdownWeight(r Resource) float64 {
 	switch r {
 	case L1I, L1D, LLC:
@@ -379,6 +409,8 @@ func slowdownWeight(r Resource) float64 {
 
 // CPUUtilization returns the host's aggregate CPU usage in percent at time
 // t — the signal a migration-triggering DoS defence watches (§5.1).
+//
+//bolt:hotpath
 func (s *Server) CPUUtilization(t Tick) float64 {
 	total := 0.0
 	if o := s.observation(t); o != nil {
@@ -399,6 +431,8 @@ func (s *Server) CPUUtilization(t Tick) float64 {
 // HostDemand returns the aggregate per-resource demand of every VM on the
 // host at time t, folded in placement order with the clamped Vector.Add —
 // the provider-side view a monitor or scheduler samples.
+//
+//bolt:hotpath
 func (s *Server) HostDemand(t Tick) Vector {
 	var total Vector
 	if o := s.observation(t); o != nil {

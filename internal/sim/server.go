@@ -85,6 +85,8 @@ func (vm *VM) Cores() []int {
 }
 
 // occupiesCore reports whether the VM holds a hyperthread of core c.
+//
+//bolt:hotpath
 func (vm *VM) occupiesCore(c int) bool {
 	w := uint(c) >> 6
 	return int(w) < len(vm.coreMask) && vm.coreMask[w]&(1<<(uint(c)&63)) != 0
@@ -113,6 +115,8 @@ func (vm *VM) rebuildCoreCache(hostCores int) {
 }
 
 // masksOverlap reports whether two core masks share a set bit.
+//
+//bolt:hotpath
 func masksOverlap(a, b []uint64) bool {
 	n := len(a)
 	if len(b) < n {
@@ -222,6 +226,8 @@ func (s *Server) VMs() []*VM {
 }
 
 // Lookup returns the VM with the given ID, or nil.
+//
+//bolt:hotpath
 func (s *Server) Lookup(id string) *VM {
 	return s.byID[id]
 }
@@ -342,6 +348,8 @@ func (s *Server) Remove(id string) bool {
 
 // SharesCore reports whether the two VMs occupy hyperthreads of at least one
 // common physical core.
+//
+//bolt:hotpath
 func (s *Server) SharesCore(a, b *VM) bool {
 	if a == nil || b == nil || a == b {
 		return false
@@ -351,6 +359,8 @@ func (s *Server) SharesCore(a, b *VM) bool {
 
 // sharesAnyCore reports whether the observer shares a physical core with
 // any VM placed on the server.
+//
+//bolt:hotpath
 func (s *Server) sharesAnyCore(observer *VM) bool {
 	if observer == nil {
 		return false

@@ -42,6 +42,8 @@ func (r *RNG) Split() *RNG {
 }
 
 // Uint64 returns the next 64 uniformly random bits (xoshiro256**).
+//
+//bolt:hotpath
 func (r *RNG) Uint64() uint64 {
 	rotl := func(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 	result := rotl(r.s[1]*5, 7) * 9
@@ -56,6 +58,8 @@ func (r *RNG) Uint64() uint64 {
 }
 
 // Float64 returns a uniform value in [0, 1).
+//
+//bolt:hotpath
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
@@ -67,6 +71,8 @@ func (r *RNG) Float64() float64 {
 // divides 2^64 the low (2^64 mod n) values occur once more often than the
 // rest — a bias that, while tiny for small n, systematically skews every
 // permutation, weighted choice, and placement decision built on top of it.
+//
+//bolt:hotpath
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("stats: Intn with non-positive n")
@@ -125,6 +131,8 @@ func (r *RNG) Perm(n int) []int {
 // resets p to the identity before shuffling, so the result — and the random
 // stream consumed — are exactly those of Perm(len(p)); callers on a hot path
 // reuse one buffer across calls without changing any downstream values.
+//
+//bolt:hotpath
 func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
