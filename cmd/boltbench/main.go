@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"bolt/internal/exper"
+	"bolt/internal/fault"
 )
 
 func main() {
@@ -38,7 +39,17 @@ func main() {
 		"max experiments in flight at once (results are identical at any level)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after final GC) to this file")
+	faultRate := flag.Float64("faultrate", 0,
+		"inject measurement faults at this rate (0..1) into every adversary without an explicit per-experiment fault config; 0 (default) injects nothing and is byte-identical to builds without the fault plane")
 	flag.Parse()
+
+	if *faultRate < 0 || *faultRate > 1 {
+		fmt.Fprintf(os.Stderr, "boltbench: -faultrate %g outside [0, 1]\n", *faultRate)
+		os.Exit(2)
+	}
+	// Installed once, before any experiment runs (the deterministic-suite
+	// contract forbids flipping it mid-run).
+	fault.SetDefault(fault.Config{Rate: *faultRate})
 
 	if *list {
 		for _, e := range exper.All() {

@@ -38,6 +38,13 @@ type Config struct {
 	// stopping early on a weak match wastes the remaining iterations'
 	// sharpening. 0 means 0.75.
 	StopSimilarity float64
+	// MinConfidence is the observation-confidence floor below which a
+	// detection degrades to UnknownLabel instead of guessing (graceful
+	// degradation under measurement faults; see Detection.Label). The score
+	// blends the fraction of the recommender's Eq. 1 weight mass that was
+	// directly observed with the raw observed-entry fraction, so it is 1
+	// for a fully observed vector. 0 means 0.35.
+	MinConfidence float64
 }
 
 func (c Config) withDefaults() Config {
@@ -49,6 +56,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StopSimilarity == 0 {
 		c.StopSimilarity = 0.75
+	}
+	if c.MinConfidence == 0 {
+		c.MinConfidence = 0.35
 	}
 	return c
 }
@@ -116,6 +126,38 @@ type Detection struct {
 	UsedShutter bool
 	// CoreShared reports whether any victim shared a core with Bolt.
 	CoreShared bool
+	// Confidence scores the evidence behind Result in [0, 1]: the share of
+	// the recommender's per-resource similarity weight that was directly
+	// observed, blended with the observed-entry fraction. Fully observed
+	// episodes score 1; heavy fault injection drives it down as profiles
+	// arrive sparse.
+	Confidence float64
+	// minConfidence is the detector's floor, captured so Label/Unknown are
+	// self-contained on the returned value.
+	minConfidence float64
+}
+
+// UnknownLabel is what a degraded detection reports instead of a
+// low-evidence guess.
+const UnknownLabel = "unknown"
+
+// Unknown reports whether the detection degraded below the confidence
+// floor: either the observation itself carried too little evidence
+// (Confidence below the detector's MinConfidence) or no training profile
+// cleared the recommender's similarity floor.
+func (det *Detection) Unknown() bool {
+	return det.Confidence < det.minConfidence || !det.Result.Confident()
+}
+
+// Label returns the primary detection's label after the
+// graceful-degradation rule: UnknownLabel when the evidence is too thin to
+// support a guess, the best-match label otherwise. Under measurement
+// faults Bolt says "don't know" rather than mislabeling.
+func (det *Detection) Label() string {
+	if det.Unknown() {
+		return UnknownLabel
+	}
+	return det.Result.Best().Label
 }
 
 // Labels returns the best-match label of each disentangled co-resident.
@@ -149,7 +191,33 @@ func (d *Detector) Detect(s *sim.Server, adv *probe.Adversary, start sim.Tick, m
 	// Result keeps the single-victim hypothesis with its full similarity
 	// distribution; CoResidents carries the mixture decomposition.
 	det.CoResidents = e.Candidates(maxVictims)
+	det.Confidence = e.Confidence()
+	det.minConfidence = d.cfg.MinConfidence
 	return det
+}
+
+// MinConfidence returns the confidence floor below which this detector's
+// detections degrade to UnknownLabel.
+func (d *Detector) MinConfidence() float64 { return d.cfg.MinConfidence }
+
+// confidence scores how much evidence a combined observation mask carries:
+// the fraction of the recommender's Eq. 1 weight mass (σₖ·|V[j][k]|)
+// sitting on directly observed resources, blended with the raw
+// observed-entry fraction. The weight-mass term makes losing a
+// discriminative resource (say MemBW) cost more confidence than losing one
+// the similarity stage barely reads.
+func (d *Detector) confidence(known []bool) float64 {
+	n := 0
+	for _, k := range known {
+		if k {
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	frac := float64(n) / float64(len(known))
+	return 0.7*d.Rec.ObservedWeightMass(known) + 0.3*frac
 }
 
 // LabelMatches implements the paper's correctness rule for application

@@ -260,6 +260,27 @@ func (e *Episode) Step(start sim.Tick) *mining.Result {
 	return e.detect(obs, known)
 }
 
+// Confidence returns the evidence score of the episode's combined
+// observation so far (see Detection.Confidence).
+func (e *Episode) Confidence() float64 {
+	_, known := e.combined()
+	return e.det.confidence(known)
+}
+
+// Grade applies the graceful-degradation rule to res, the episode's
+// current recommender view: the label degrades to UnknownLabel when the
+// combined observation's confidence is below the detector's floor or no
+// match clears the recommender's similarity floor.
+func (e *Episode) Grade(res *mining.Result) (label string, confidence float64, unknown bool) {
+	confidence = e.Confidence()
+	unknown = confidence < e.det.cfg.MinConfidence || !res.Confident()
+	label = res.Best().Label
+	if unknown {
+		label = UnknownLabel
+	}
+	return label, confidence, unknown
+}
+
 // missingUncore lists up to two uncore resources not yet measured, or nil.
 // The cap keeps each iteration within the paper's 2-5 s profiling budget;
 // later iterations pick up the rest.

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"bolt/internal/stats"
+	"bolt/internal/workload"
+)
+
+// probeVectors returns a deterministic set of pressure vectors spanning the
+// detection input space: victim profiles disjoint from training plus a few
+// synthetic corners.
+func probeVectors(n int) [][]float64 {
+	var out [][]float64
+	for _, s := range workload.VictimSpecs(4242, n) {
+		out = append(out, s.Base.Slice())
+	}
+	zero := make([]float64, len(out[0]))
+	full := make([]float64, len(out[0]))
+	for j := range full {
+		full[j] = 100
+	}
+	return append(out, zero, full)
+}
+
+// TestDetectFullyObservedMatchesDense pins the sparse path's degenerate
+// case: when every resource is directly observed, completion passes the
+// vector through untouched and the measured-resource boost multiplies every
+// weight by the same power of two — which cancels exactly in both the
+// weighted Pearson correlation and the proximity factor. The two paths must
+// therefore agree bit for bit, not just approximately.
+func TestDetectFullyObservedMatchesDense(t *testing.T) {
+	det := trainedDetector(t)
+	rec := det.Rec
+	allKnown := make([]bool, rec.ResourceCount())
+	for j := range allKnown {
+		allKnown[j] = true
+	}
+	for vi, v := range probeVectors(24) {
+		sparse := rec.Detect(v, allKnown)
+		dense := rec.DetectDense(v)
+		for j := range v {
+			if sparse.Pressure[j] != v[j] {
+				t.Fatalf("vector %d: completion altered fully observed entry %d: %g -> %g",
+					vi, j, v[j], sparse.Pressure[j])
+			}
+		}
+		if len(sparse.Matches) != len(dense.Matches) {
+			t.Fatalf("vector %d: match counts differ: %d vs %d",
+				vi, len(sparse.Matches), len(dense.Matches))
+		}
+		for i := range sparse.Matches {
+			sm, dm := sparse.Matches[i], dense.Matches[i]
+			if sm.Label != dm.Label || sm.Similarity != dm.Similarity {
+				t.Fatalf("vector %d match %d: sparse (%s, %v) != dense (%s, %v)",
+					vi, i, sm.Label, sm.Similarity, dm.Label, dm.Similarity)
+			}
+		}
+	}
+}
+
+// simTieTol is the similarity margin below which two training profiles are
+// considered tied for the purposes of the reorder-invariance property:
+// reordering the training rows reorders floating-point summations (SVD
+// iterations, means), so scores can drift by strictly-rounding amounts and
+// genuinely tied labels may swap.
+const simTieTol = 1e-9
+
+// TestLabelInvariantUnderTrainingReorder asserts that the detector's answer
+// is a property of the training *set*, not the training *sequence*: after
+// shuffling the spec slice, every probe vector must either keep its label
+// or have been sitting on an exact score tie.
+func TestLabelInvariantUnderTrainingReorder(t *testing.T) {
+	specs := workload.TrainingSpecs(100)
+	shuffled := make([]workload.Spec, len(specs))
+	rng := stats.NewRNG(99)
+	for i, p := range rng.Perm(len(specs)) {
+		shuffled[i] = specs[p]
+	}
+	d1 := Train(specs, Config{})
+	d2 := Train(shuffled, Config{})
+
+	for vi, v := range probeVectors(24) {
+		r1 := d1.Rec.DetectDense(v)
+		r2 := d2.Rec.DetectDense(v)
+		b1, b2 := r1.Best(), r2.Best()
+		if math.Abs(b1.Similarity-b2.Similarity) > simTieTol {
+			t.Fatalf("vector %d: best similarity moved under reorder: %v (%s) vs %v (%s)",
+				vi, b1.Similarity, b1.Label, b2.Similarity, b2.Label)
+		}
+		if b1.Label == b2.Label {
+			continue
+		}
+		// Different label is only legitimate on an exact tie: the runner-up
+		// must score within tolerance of the winner.
+		if len(r1.Matches) < 2 || len(r2.Matches) < 2 {
+			t.Fatalf("vector %d: label changed with no runner-up: %s vs %s", vi, b1.Label, b2.Label)
+		}
+		if math.Abs(r1.Matches[0].Similarity-r1.Matches[1].Similarity) > simTieTol {
+			t.Fatalf("vector %d: label flipped without a tie: %s (%v) vs %s (%v), runner-up gap %v",
+				vi, b1.Label, b1.Similarity, b2.Label, b2.Similarity,
+				r1.Matches[0].Similarity-r1.Matches[1].Similarity)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package exper
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"bolt/internal/fault"
+)
+
+// renderSuite runs the full suite at the given parallelism and returns the
+// rendered stdout form (the bytes boltbench would print).
+func renderSuite(t *testing.T, seed uint64, parallel int) []byte {
+	t.Helper()
+	results := Run(All(), seed, parallel)
+	var buf bytes.Buffer
+	for _, r := range results {
+		r.Report.Render(&buf)
+	}
+	return buf.Bytes()
+}
+
+func firstDivergence(a, b []byte) string {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := i - 60
+	if lo < 0 {
+		lo = 0
+	}
+	hiA, hiB := i+60, i+60
+	if hiA > len(a) {
+		hiA = len(a)
+	}
+	if hiB > len(b) {
+		hiB = len(b)
+	}
+	return fmt.Sprintf("byte %d:\n  a: …%s…\n  b: …%s…", i, a[lo:hiA], b[lo:hiB])
+}
+
+// TestSuiteChaosParityAtRateZero is the chaos-parity golden: installing the
+// fault plane at rate 0 must leave the entire experiment suite's stdout
+// byte-identical to a run with no fault plane installed at all, at every
+// parallelism level. This pins the nil-plane contract end to end — a
+// disabled config builds no plane, a missing plane draws no randomness, and
+// NewAdversary splits its RNG only when faults are enabled — so shipping
+// the fault-injection subsystem cannot perturb a single published number.
+func TestSuiteChaosParityAtRateZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite five times")
+	}
+	const seed = 42
+
+	// Baseline: no default fault config installed (the state of a build
+	// without the -faultrate flag ever parsed).
+	baseline := renderSuite(t, seed, 8)
+
+	fault.SetDefault(fault.Config{Rate: 0})
+	defer fault.SetDefault(fault.Config{})
+	for _, parallel := range []int{1, 2, 4, 8} {
+		got := renderSuite(t, seed, parallel)
+		if !bytes.Equal(got, baseline) {
+			t.Fatalf("suite output with rate-0 fault plane at parallel %d diverged from no-plane baseline at %s",
+				parallel, firstDivergence(got, baseline))
+		}
+	}
+}
+
+// TestSuiteFaultedRunIsDeterministic is the nonzero-rate companion: with
+// real injection enabled the suite must still be a pure function of the
+// seed, independent of parallelism.
+func TestSuiteFaultedRunIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the faultrate experiment three times")
+	}
+	fault.SetDefault(fault.Config{Rate: 0.25})
+	defer fault.SetDefault(fault.Config{})
+
+	exps := []Experiment{}
+	for _, id := range []string{"table1", "faultrate"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		exps = append(exps, e)
+	}
+	render := func(parallel int) []byte {
+		results := Run(exps, 42, parallel)
+		var buf bytes.Buffer
+		for _, r := range results {
+			r.Report.Render(&buf)
+		}
+		return buf.Bytes()
+	}
+	first := render(1)
+	for _, parallel := range []int{2, 4} {
+		if got := render(parallel); !bytes.Equal(got, first) {
+			t.Fatalf("faulted suite diverged between parallel 1 and %d at %s",
+				parallel, firstDivergence(got, first))
+		}
+	}
+}

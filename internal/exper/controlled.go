@@ -6,6 +6,8 @@ import (
 
 	"bolt/internal/cluster"
 	"bolt/internal/core"
+	"bolt/internal/fault"
+	"bolt/internal/mining"
 	"bolt/internal/probe"
 	"bolt/internal/sim"
 	"bolt/internal/stats"
@@ -75,6 +77,15 @@ type VictimRecord struct {
 	SharesWithAdv bool
 	Dominant      sim.Resource
 	Ticks         sim.Tick
+	// FinalLabel is the episode's post-degradation primary label after the
+	// last iteration: core.UnknownLabel when the evidence fell below the
+	// detector's confidence floor, the best-match label otherwise.
+	FinalLabel string
+	// Confidence is the episode's final evidence score (episode-level: all
+	// victims on one host share it), and Unknown whether the episode
+	// degraded to "unknown" rather than guessing.
+	Confidence float64
+	Unknown    bool
 }
 
 // Correct reports whether the victim was identified within the budget.
@@ -86,6 +97,9 @@ type ControlledResult struct {
 	Detector *core.Detector
 	// SchedulerName records which policy placed the victims.
 	SchedulerName string
+	// FaultCounts aggregates the per-class fault-injection counters across
+	// every adversary in the run (all zero without a fault plane).
+	FaultCounts [fault.NumClasses]uint64
 }
 
 // Accuracy returns the fraction of victims identified, in percent.
@@ -229,8 +243,10 @@ func runControlled(cfg ControlledConfig, rng *stats.RNG) *ControlledResult {
 		correctAt := make([]int, len(vs))
 		charOK := make([]bool, len(vs))
 		ep := det.NewEpisode(host, adv)
+		var lastRes *mining.Result
 		for it := 1; it <= cfg.MaxIterations; it++ {
 			stepRes := ep.Step(when)
+			lastRes = stepRes
 			// Bolt's hypotheses this iteration: the disentangled
 			// co-resident set plus the single-victim view (its top match is
 			// a live hypothesis whenever one workload dominates the host).
@@ -263,6 +279,7 @@ func runControlled(cfg ControlledConfig, rng *stats.RNG) *ControlledResult {
 				break
 			}
 		}
+		label, conf, unknown := ep.Grade(lastRes)
 		for vi, v := range vs {
 			res.Records = append(res.Records, VictimRecord{
 				Spec:             v.spec,
@@ -274,9 +291,21 @@ func runControlled(cfg ControlledConfig, rng *stats.RNG) *ControlledResult {
 				SharesWithAdv:    host.SharesCore(adv.VM, v.vm),
 				Dominant:         v.spec.Base.Dominant(),
 				Ticks:            ep.Ticks,
+				FinalLabel:       label,
+				Confidence:       conf,
+				Unknown:          unknown,
 			})
 		}
 		when += ep.Ticks + 100
+	}
+	// Aggregate injection counters in deterministic (sorted host) order.
+	for _, hostName := range hostNames {
+		if adv, ok := advs[hostName]; ok {
+			counts := adv.FaultPlane().Counts()
+			for c := range counts {
+				res.FaultCounts[c] += counts[c]
+			}
+		}
 	}
 	return res
 }

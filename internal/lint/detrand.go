@@ -16,6 +16,7 @@ var deterministicPkgs = []string{
 	"bolt/internal/exper",
 	"bolt/internal/probe",
 	"bolt/internal/stats",
+	"bolt/internal/fault",
 }
 
 // isDeterministicPkg reports whether path is one of the deterministic

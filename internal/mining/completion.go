@@ -343,5 +343,11 @@ func clamp(x, lo, hi float64) float64 {
 	if x > hi {
 		return hi
 	}
+	if x != x {
+		// NaN falls through both comparisons; pin it to the lower bound so a
+		// diverged fold-in on pathological observed values cannot leak NaN
+		// into a completed vector.
+		return lo
+	}
 	return x
 }

@@ -47,7 +47,14 @@ func WeightedPearson(a, b, sigma []float64) float64 {
 		return 0
 	}
 	r := WeightedCov(a, b, sigma) / math.Sqrt(va*vb)
-	// Numerical safety: keep strictly within [-1, 1].
+	// Numerical safety: keep strictly within [-1, 1]. Huge finite inputs
+	// can overflow both covariances to +Inf, making r = Inf/Inf = NaN —
+	// which would slip through the clamps below — so NaN degrades to the
+	// same "no signal" answer as zero variance. Pressure-scale data
+	// ([0, 100]) never gets near overflow.
+	if r != r {
+		return 0
+	}
 	if r > 1 {
 		r = 1
 	}

@@ -245,6 +245,29 @@ func (r *Recommender) ConceptResourceLoading() *Matrix {
 	return out
 }
 
+// ObservedWeightMass returns the fraction of the total per-resource Eq. 1
+// weight (σₖ·|V[j][k]| summed over retained concepts) carried by the
+// resources marked known — how much of the similarity stage's
+// discriminative mass an observation actually covers. It is 1 for a fully
+// observed vector and 0 for an empty mask, and feeds the detector's
+// graceful-degradation confidence score.
+func (r *Recommender) ObservedWeightMass(known []bool) float64 {
+	if len(known) != r.n {
+		panic("mining: ObservedWeightMass mask length mismatch")
+	}
+	num, den := 0.0, 0.0
+	for j, w := range r.weights {
+		den += w
+		if known[j] {
+			num += w
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
 // ResourceValue returns a per-resource "information value" score: the sum
 // over retained concepts of σₖ·|V[j][k]|, normalised to max 1. Resources
 // with high scores are the ones whose isolation the paper says should be

@@ -8,6 +8,7 @@ package probe
 import (
 	"sync"
 
+	"bolt/internal/fault"
 	"bolt/internal/sim"
 	"bolt/internal/stats"
 )
@@ -117,6 +118,12 @@ type Config struct {
 	NoiseSD float64
 	// TicksPerStep is how long each ramp step takes; 0 means 1 (100 ms).
 	TicksPerStep sim.Tick
+	// Faults configures deterministic fault injection on this adversary's
+	// measurements (internal/fault). The zero value injects nothing and
+	// leaves the probe's random streams untouched; an adversary whose own
+	// config is disabled falls back to fault.Default() (the boltbench
+	// -faultrate knob).
+	Faults fault.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -142,17 +149,81 @@ type Adversary struct {
 	// across iterations. An adversary is single-flow by construction (its
 	// rng state already serialises use), so a plain field suffices.
 	uncorePerm []int
+	// faults is the adversary's fault-injection plane; nil (the common
+	// case) means no injection and zero extra random draws.
+	faults *fault.Plane
 }
 
 // NewAdversary builds an adversarial VM of the given size, ready to be
 // placed on a server. Its contention ceiling follows MaxIntensityFor.
 func NewAdversary(id string, vcpus int, cfg Config, rng *stats.RNG) *Adversary {
 	k := NewKernels(MaxIntensityFor(vcpus))
-	return &Adversary{
+	a := &Adversary{
 		VM:      &sim.VM{ID: id, VCPUs: vcpus, App: k},
 		Kernels: k,
 		cfg:     cfg.withDefaults(),
 		rng:     rng,
+	}
+	fcfg := a.cfg.Faults
+	if !fcfg.Enabled() {
+		fcfg = fault.Default()
+	}
+	if fcfg.Enabled() {
+		// The plane gets its own stream so injection decisions never shift
+		// the measurement-noise stream; the Split itself happens only when
+		// faults are on, keeping the rate-0 noise stream byte-identical to a
+		// build without the fault plane.
+		a.faults = fault.New(fcfg, rng.Split())
+	}
+	return a
+}
+
+// FaultPlane returns the adversary's fault-injection plane, nil when fault
+// injection is disabled (experiments read its Counts).
+func (a *Adversary) FaultPlane() *fault.Plane { return a.faults }
+
+// installFaults registers the adversary's fault plane as the server's
+// sensor hook for this VM's readings, so the corruption class applies to
+// every observation the adversary takes. Idempotent, and a no-op without a
+// plane; every profiling entry point calls it because an episode may start
+// with any measurement mode.
+func (a *Adversary) installFaults(s *sim.Server) {
+	if a.faults.Enabled() {
+		s.SetObservationFault(a.VM, a.faults)
+	}
+}
+
+// measure runs one ramp through the fault plane. At the ramp boundary the
+// churn class may remove (or re-place) a co-resident; a transiently failed
+// ramp is retried with capped exponential backoff (1, 2, 4, ... ticks); a
+// dropped measurement is discarded after the ticks were spent. ok reports
+// whether a usable measurement was produced, and m.Ticks always charges
+// the full time spent, including retries and backoff — faults cost the
+// adversary time even when they yield nothing, which is exactly how they
+// hurt on real hosts. Without a fault plane this is Ramp, unchanged.
+func (a *Adversary) measure(s *sim.Server, r sim.Resource, start sim.Tick) (Measurement, bool) {
+	if !a.faults.Enabled() {
+		return a.Ramp(s, r, start), true
+	}
+	a.faults.MaybeChurn(s, a.VM)
+	var used sim.Tick
+	backoff := sim.Tick(1)
+	for attempt := 0; ; attempt++ {
+		m := a.Ramp(s, r, start+used)
+		used += m.Ticks
+		if !a.faults.ProbeFailed(r) {
+			m.Ticks = used
+			return m, !a.faults.DropMeasurement(r)
+		}
+		if attempt >= a.faults.MaxRetries() {
+			m.Ticks = used
+			return m, false
+		}
+		used += backoff
+		backoff *= 2
+		if bc := a.faults.BackoffCap(); backoff > bc {
+			backoff = bc
+		}
 	}
 }
 
@@ -234,6 +305,7 @@ func (p *Profile) Sparse() ([]float64, []bool) {
 // added. extraUncore forces additional uncore benchmarks on top (the §3.3
 // multi-co-resident path and the Fig. 10c sensitivity sweep).
 func (a *Adversary) ProfileOnce(s *sim.Server, start sim.Tick, extraBench int) Profile {
+	a.installFaults(s)
 	var p Profile
 	core := sim.CoreResources()
 	uncore := sim.UncoreResources()
@@ -256,9 +328,20 @@ func (a *Adversary) ProfileOnce(s *sim.Server, start sim.Tick, extraBench int) P
 	t := start
 	for i := 0; i < len(order); i++ {
 		r := order[i]
-		m := a.Ramp(s, r, t)
+		m, ok := a.measure(s, r, t)
 		t += m.Ticks
 		p.Resources = append(p.Resources, r)
+		if !ok {
+			// The measurement was lost (dropout, or a failed ramp exhausted
+			// its retries): the entry stays unobserved and the profile goes
+			// out sparse. A lost first core measurement also says nothing
+			// about sharing, so the §3.2 extra-uncore rule fires exactly as
+			// for a silent core.
+			if r.IsCore() && i == 0 {
+				order = append(order, nextUncore())
+			}
+			continue
+		}
 		if r.IsCore() && m.Pressure <= coreSharedFloor {
 			// A ~zero core reading means no victim shares this core (§3.3),
 			// not that the victim has no core pressure: the measurement
@@ -281,12 +364,16 @@ func (a *Adversary) ProfileOnce(s *sim.Server, start sim.Tick, extraBench int) P
 		if p.Known[r] {
 			continue
 		}
-		m := a.Ramp(s, r, t)
+		m, ok := a.measure(s, r, t)
 		t += m.Ticks
+		p.Resources = append(p.Resources, r)
+		if !ok {
+			continue
+		}
 		p.Observed.Set(r, m.Pressure)
 		p.Known[r] = true
-		p.Resources = append(p.Resources, r)
 	}
+	a.faults.Settle()
 	p.Ticks = t - start
 	return p
 }
@@ -295,14 +382,18 @@ func (a *Adversary) ProfileOnce(s *sim.Server, start sim.Tick, extraBench int) P
 // co-resident shares a core and the first detection attempt failed, §3.3:
 // "we profile with an additional core benchmark").
 func (a *Adversary) ProfileCore(s *sim.Server, start sim.Tick) Profile {
+	a.installFaults(s)
 	var p Profile
 	t := start
 	for _, r := range sim.CoreResources() {
-		m := a.Ramp(s, r, t)
+		m, ok := a.measure(s, r, t)
 		t += m.Ticks
+		p.Resources = append(p.Resources, r)
+		if !ok {
+			continue
+		}
 		p.Observed.Set(r, m.Pressure)
 		p.Known[r] = true
-		p.Resources = append(p.Resources, r)
 		if m.Pressure > coreSharedFloor {
 			p.CoreShared = true
 		}
@@ -313,6 +404,7 @@ func (a *Adversary) ProfileCore(s *sim.Server, start sim.Tick) Profile {
 		p.Observed = sim.Vector{}
 		p.Known = [sim.NumResources]bool{}
 	}
+	a.faults.Settle()
 	p.Ticks = t - start
 	return p
 }
@@ -325,6 +417,10 @@ func (a *Adversary) ProfileCore(s *sim.Server, start sim.Tick) Profile {
 // concurrently (the adversary owns one hyperthread on each), so the time
 // charged is the slowest core's ramp sequence.
 func (a *Adversary) CoreSignatures(s *sim.Server, start sim.Tick) ([]sim.Vector, sim.Tick) {
+	// Per-core ramps see corruption through the sensor hook; the
+	// measurement-level classes (dropout, retry, churn) apply only to the
+	// whole-host Profile* passes, which dominate an episode's ramp count.
+	a.installFaults(s)
 	// The VM's core set is precomputed by Place, already deduplicated and
 	// sorted ascending — the order the map+sort construction used to yield.
 	coreIdxs := a.VM.Cores()
@@ -426,6 +522,7 @@ func dedupSignatures(sigs []sim.Vector) []sim.Vector {
 // list is empty), used to complete the mixture observation once the core
 // side of an episode is covered.
 func (a *Adversary) ProfileUncore(s *sim.Server, start sim.Tick, resources []sim.Resource) Profile {
+	a.installFaults(s)
 	if len(resources) == 0 {
 		resources = sim.UncoreResources()
 	}
@@ -435,12 +532,16 @@ func (a *Adversary) ProfileUncore(s *sim.Server, start sim.Tick, resources []sim
 		if r.IsCore() {
 			continue
 		}
-		m := a.Ramp(s, r, t)
+		m, ok := a.measure(s, r, t)
 		t += m.Ticks
+		p.Resources = append(p.Resources, r)
+		if !ok {
+			continue
+		}
 		p.Observed.Set(r, m.Pressure)
 		p.Known[r] = true
-		p.Resources = append(p.Resources, r)
 	}
+	a.faults.Settle()
 	p.Ticks = t - start
 	return p
 }
@@ -453,6 +554,7 @@ func (a *Adversary) ProfileUncore(s *sim.Server, start sim.Tick, resources []sim
 // the mixture, useful exactly where shutter mode is weak: constant
 // steady-state loads (the §3.3 future-work extension).
 func (a *Adversary) CacheResponseSlope(s *sim.Server, start sim.Tick) (float64, sim.Tick) {
+	a.installFaults(s)
 	defer a.Kernels.Set(sim.LLC, 0)
 	levels := []float64{0, 30, 60, 90}
 	const ticksPerLevel = 2
@@ -516,6 +618,7 @@ type ShutterSample struct {
 // approximates the pressure of the busiest single co-resident when another
 // one idles.
 func (a *Adversary) Shutter(s *sim.Server, start sim.Tick, samples int, window sim.Tick) ([]ShutterSample, sim.Vector) {
+	a.installFaults(s)
 	if samples <= 0 {
 		samples = 10
 	}

@@ -34,6 +34,39 @@ package sim
 // a fixed (tick, epoch, versions) key, so one evaluation per VM per tick
 // is exact.
 
+// ObservationFault intercepts the observation plane's single-resource
+// sensor readings for one designated observer VM. internal/fault's
+// corruption class implements it to spike individual readings; the
+// interface lives here because sim cannot import fault.
+type ObservationFault interface {
+	// Perturb receives the true reading v the observer would get for
+	// resource r at tick t and returns the (possibly corrupted) value the
+	// observer actually sees, still within [0, 100].
+	Perturb(observer *VM, r Resource, t Tick, v float64) float64
+}
+
+// SetObservationFault installs f as the sensor-fault hook for readings
+// taken by observer; a nil f clears the hook. The hook applies only to
+// ObservedPressure/ObservedCorePressure queries whose observer matches the
+// registered VM — other VMs' observations and the interference physics
+// (ObservedVector, Interference, Slowdown, HostDemand) are never touched:
+// faults corrupt what the probe *reads*, not what co-residents *feel*.
+func (s *Server) SetObservationFault(observer *VM, f ObservationFault) {
+	s.obsFaultVM, s.obsFault = observer, f
+}
+
+// faulted passes a sensor reading through the fault hook when the query
+// came from the registered observer. With no hook installed (every run at
+// fault rate 0) it is a branch and a return.
+//
+//bolt:hotpath
+func (s *Server) faulted(observer *VM, r Resource, t Tick, v float64) float64 {
+	if s.obsFault != nil && observer == s.obsFaultVM {
+		return s.obsFault.Perturb(observer, r, t, v)
+	}
+	return v
+}
+
 // obsPlane is the per-server demand snapshot.
 type obsPlane struct {
 	tick     Tick
@@ -144,13 +177,14 @@ func (s *Server) ObservedPressure(observer *VM, r Resource, t Tick) float64 {
 	if r.IsCore() && !s.sharesAnyCore(observer) {
 		// No core-sharing neighbour contributes, so the sum is empty; skip
 		// the snapshot entirely (the pre-snapshot code evaluated no demands
-		// here either).
-		return 0
+		// here either). The fault hook still applies: a corrupted sensor can
+		// spike even when the true reading is zero.
+		return s.faulted(observer, r, t, 0)
 	}
 	if o := s.observation(t); o != nil {
-		return s.observedPressureFrom(o, observer, r, t)
+		return s.faulted(observer, r, t, s.observedPressureFrom(o, observer, r, t))
 	}
-	return s.observedPressureLive(observer, r, t)
+	return s.faulted(observer, r, t, s.observedPressureLive(observer, r, t))
 }
 
 // observedPressureFrom answers a single-resource query from the snapshot.
@@ -223,6 +257,7 @@ func (s *Server) observedPressureLive(observer *VM, r Resource, t Tick) float64 
 //bolt:hotpath
 func (s *Server) ObservedCorePressure(observer *VM, coreIdx int, r Resource, t Tick) float64 {
 	if !r.IsCore() {
+		// ObservedPressure applies the fault hook itself.
 		return s.ObservedPressure(observer, r, t)
 	}
 	total := 0.0
@@ -243,7 +278,7 @@ func (s *Server) ObservedCorePressure(observer *VM, coreIdx int, r Resource, t T
 	if total > 100 {
 		total = 100
 	}
-	return total
+	return s.faulted(observer, r, t, total)
 }
 
 // accumulateObserved folds one VM's demand into the per-resource running

@@ -179,6 +179,10 @@ type Server struct {
 	epoch uint64
 	// obs is the per-tick observation snapshot (observation.go).
 	obs obsPlane
+	// obsFault, when set, intercepts single-resource sensor readings served
+	// to obsFaultVM (the registered adversary); see SetObservationFault.
+	obsFault   ObservationFault
+	obsFaultVM *VM
 }
 
 // ErrNoCapacity is returned when a VM cannot be placed on a server.
