@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	benchjson [-bench regex] [-benchtime 2x] [-pkg ./...] [-out BENCH_hotpath.json]
+//	benchjson [-bench regex] [-benchtime 2x] [-pkg ./...] [-out BENCH_hotpath.json] [-append]
+//
+// -append merges the new results into an existing -out file (replacing
+// same-name benchmarks), so microbenchmarks can be recorded at a stable
+// iteration count and the slow suite benchmarks at a small one.
 //
 // It shells out to `go test -run ^$ -bench <regex> -benchmem` and parses
 // the standard benchmark output lines, e.g.
@@ -25,13 +29,17 @@ import (
 	"time"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. BenchTime records the -benchtime
+// the result was collected at, since an appended report may mix runs
+// (e.g. microbenchmarks at a stable iteration count, the full suite at a
+// small one).
 type Result struct {
 	Name        string  `json:"name"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"b_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	BenchTime   string  `json:"benchtime,omitempty"`
 }
 
 // Report is the file benchjson writes.
@@ -51,6 +59,8 @@ func main() {
 	pkg := flag.String("pkg", ".", "package pattern passed to go test")
 	out := flag.String("out", "BENCH_hotpath.json", "output JSON path")
 	timeout := flag.String("timeout", "30m", "value passed to go test -timeout")
+	appendOut := flag.Bool("append", false,
+		"merge results into an existing -out file instead of replacing it (same-name benchmarks are overwritten)")
 	flag.Parse()
 
 	cmd := exec.Command("go", "test", "-run", "^$",
@@ -81,6 +91,7 @@ func main() {
 			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
 			if r, ok := parseLine(line); ok {
+				r.BenchTime = *benchtime
 				report.Benchmarks = append(report.Benchmarks, r)
 			}
 		}
@@ -88,6 +99,29 @@ func main() {
 	if len(report.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines matched")
 		os.Exit(1)
+	}
+
+	if *appendOut {
+		if prev, err := os.ReadFile(*out); err == nil {
+			var old Report
+			if err := json.Unmarshal(prev, &old); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: -append: parsing existing %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+			fresh := make(map[string]bool, len(report.Benchmarks))
+			for _, r := range report.Benchmarks {
+				fresh[r.Name] = true
+			}
+			merged := make([]Result, 0, len(old.Benchmarks)+len(report.Benchmarks))
+			for _, r := range old.Benchmarks {
+				if !fresh[r.Name] {
+					merged = append(merged, r)
+				}
+			}
+			report.Benchmarks = append(merged, report.Benchmarks...)
+			report.Bench = old.Bench + "|" + *bench
+			report.BenchTime = old.BenchTime + "," + *benchtime
+		}
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -3,14 +3,19 @@
 //
 // Usage:
 //
-//	boltbench [-seed N] [-run id[,id...]] [-parallel N] [-json] [-list]
+//	boltbench [-seed N] [-run id[,id...]] [-parallel N] [-epworkers N] [-json] [-list]
 //
 // Without -run it executes all experiments in paper order. Experiment IDs
-// match the per-experiment index in DESIGN.md (table1, fig2, ... ablation).
+// match the per-experiment index in DESIGN.md (table1, fig2, ... ablation);
+// repeating an ID in -run is rejected, since the suite renders each
+// experiment exactly once per run.
 //
-// Experiments run concurrently (-parallel, default GOMAXPROCS) but reports
-// are buffered and emitted in paper order, so stdout is byte-identical for
-// a given seed at every parallelism level. Timing goes to stderr.
+// Experiments run concurrently (-parallel, default GOMAXPROCS), and inside
+// one experiment independent episodes run concurrently too (-epworkers,
+// default GOMAXPROCS). Reports are buffered and emitted in paper order and
+// every episode draws from its own pre-split RNG stream, so stdout is
+// byte-identical for a given seed at every -parallel × -epworkers
+// combination. Timing goes to stderr.
 //
 // -cpuprofile and -memprofile write pprof profiles of the run (the
 // standard `go tool pprof` format); the memory profile is taken after a
@@ -30,13 +35,22 @@ import (
 	"bolt/internal/fault"
 )
 
+// main is a thin wrapper: all work happens in run so that its defers
+// (profile writers) execute before the process exits — os.Exit anywhere
+// inside run's body would silently truncate an in-flight CPU profile.
 func main() {
+	os.Exit(run())
+}
+
+func run() (code int) {
 	seed := flag.Uint64("seed", 42, "experiment seed (all results are deterministic per seed)")
-	run := flag.String("run", "", "comma-separated experiment IDs to run (default: all)")
+	runIDs := flag.String("run", "", "comma-separated experiment IDs to run (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	asJSON := flag.Bool("json", false, "emit one machine-readable JSON document instead of tables")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"max experiments in flight at once (results are identical at any level)")
+	epworkers := flag.Int("epworkers", 0,
+		"max episodes in flight inside one experiment; 0 = GOMAXPROCS (results are identical at any level)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after final GC) to this file")
 	faultRate := flag.Float64("faultrate", 0,
@@ -45,30 +59,37 @@ func main() {
 
 	if *faultRate < 0 || *faultRate > 1 {
 		fmt.Fprintf(os.Stderr, "boltbench: -faultrate %g outside [0, 1]\n", *faultRate)
-		os.Exit(2)
+		return 2
 	}
 	// Installed once, before any experiment runs (the deterministic-suite
-	// contract forbids flipping it mid-run).
+	// contract forbids flipping either knob mid-run).
 	fault.SetDefault(fault.Config{Rate: *faultRate})
+	exper.SetEpisodeWorkers(*epworkers)
 
 	if *list {
 		for _, e := range exper.All() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	var selected []exper.Experiment
-	if *run == "" {
+	if *runIDs == "" {
 		selected = exper.All()
 	} else {
-		for _, id := range strings.Split(*run, ",") {
+		seen := make(map[string]bool)
+		for _, id := range strings.Split(*runIDs, ",") {
 			id = strings.TrimSpace(id)
 			e, ok := exper.ByID(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "boltbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
+			if seen[id] {
+				fmt.Fprintf(os.Stderr, "boltbench: experiment %q repeated in -run\n", id)
+				return 2
+			}
+			seen[id] = true
 			selected = append(selected, e)
 		}
 	}
@@ -79,11 +100,12 @@ func main() {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "boltbench: creating CPU profile: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "boltbench: starting CPU profile: %v\n", err)
-			os.Exit(1)
+			f.Close()
+			return 1
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -91,17 +113,26 @@ func main() {
 		}()
 	}
 	if *memprofile != "" {
+		// Deferred so the profile captures the heap the run actually
+		// retained. A failure here reports and marks the exit code, but
+		// falls through — exiting from inside this defer would skip the
+		// CPU-profile defer above and truncate that file.
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "boltbench: creating heap profile: %v\n", err)
-				os.Exit(1)
+				if code == 0 {
+					code = 1
+				}
+				return
 			}
 			defer f.Close()
 			runtime.GC() // material allocations only: report live retained heap
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintf(os.Stderr, "boltbench: writing heap profile: %v\n", err)
-				os.Exit(1)
+				if code == 0 {
+					code = 1
+				}
 			}
 		}()
 	}
@@ -116,15 +147,16 @@ func main() {
 		}
 		if err := exper.WriteAllJSON(os.Stdout, *seed, reports); err != nil {
 			fmt.Fprintf(os.Stderr, "boltbench: writing JSON: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	for _, r := range results {
 		r.Report.Render(os.Stdout)
 		fmt.Fprintf(os.Stderr, "[%s took %.1fs]\n", r.Experiment.ID, r.Elapsed.Seconds())
 	}
-	fmt.Fprintf(os.Stderr, "boltbench: %d experiment(s) in %.1fs (seed %d, parallel %d)\n",
-		len(selected), time.Since(start).Seconds(), *seed, *parallel)
+	fmt.Fprintf(os.Stderr, "boltbench: %d experiment(s) in %.1fs (seed %d, parallel %d, epworkers %d)\n",
+		len(selected), time.Since(start).Seconds(), *seed, *parallel, exper.EpisodeWorkers())
+	return 0
 }

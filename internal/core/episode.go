@@ -110,6 +110,9 @@ type Episode struct {
 	UsedShutter bool
 	CoreShared  bool
 
+	// muBuf backs missingUncore's return value, reused across iterations.
+	muBuf [2]sim.Resource
+
 	// obsBuf/knownBuf back combined()'s return values, reused across the
 	// episode's iterations. An episode belongs to a single detection flow
 	// (one goroutine), and the recommender only reads the observation
@@ -249,7 +252,7 @@ func (e *Episode) Step(start sim.Tick) *mining.Result {
 		e.mrcSlope = slope
 	case !e.det.cfg.DisableShutter:
 		window := sim.Tick(e.det.cfg.ShutterSamples * 3)
-		_, minV := e.adv.Shutter(e.s, start+e.Ticks, e.det.cfg.ShutterSamples, window)
+		minV := e.adv.ShutterMin(e.s, start+e.Ticks, e.det.cfg.ShutterSamples, window)
 		e.Ticks += window
 		e.UsedShutter = true
 		for _, r := range sim.UncoreResources() {
@@ -283,16 +286,28 @@ func (e *Episode) Grade(res *mining.Result) (label string, confidence float64, u
 
 // missingUncore lists up to two uncore resources not yet measured, or nil.
 // The cap keeps each iteration within the paper's 2-5 s profiling budget;
-// later iterations pick up the rest.
+// later iterations pick up the rest. The returned slice is backed by the
+// episode's muBuf, valid until the next missingUncore call — Step consumes
+// it before re-profiling, so the reuse is invisible there.
+//
+//bolt:hotpath
 func (e *Episode) missingUncore() []sim.Resource {
-	var out []sim.Resource
-	for _, r := range sim.UncoreResources() {
+	out := e.muBuf[:0]
+	// Index loop over the uncore resources; ascending index order matches
+	// sim.UncoreResources() exactly, without the per-call slice.
+	for r := sim.Resource(0); r < sim.NumResources; r++ {
+		if r.IsCore() {
+			continue
+		}
 		if !e.uncore.known[r] {
 			out = append(out, r)
 			if len(out) == 2 {
 				break
 			}
 		}
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -361,6 +376,34 @@ func (e *Episode) Candidates(maxVictims int) []*mining.Result {
 	alphaBuf := make([]float64, maxVictims)
 	entriesBuf := make([]indexScore, n)
 
+	// The uncore readings the mixture fit runs against are fixed for the
+	// whole search, so hoist them out of the coordinate-descent inner
+	// loop: fitR/fitM hold the known, non-saturated resources the descent
+	// iterates (in uncore order, so the arithmetic sequence is unchanged),
+	// errR/errM the known ones the residual-error pass iterates, and
+	// profT the training pressures transposed to fitR-major so the
+	// residual loop reads a flat row instead of chasing a profile slice
+	// per term.
+	var fitR, errR []sim.Resource
+	var fitM, errM []float64
+	for r := sim.Resource(0); r < sim.NumResources; r++ {
+		if r.IsCore() || !e.uncore.known[r] {
+			continue
+		}
+		m := e.uncore.obs.Get(r)
+		errR, errM = append(errR, r), append(errM, m)
+		if m < saturatedFloor {
+			fitR, fitM = append(fitR, r), append(fitM, m)
+		}
+	}
+	profT := make([]float64, len(fitR)*n)
+	for k, r := range fitR {
+		row := profT[k*n : (k+1)*n]
+		for i := range profiles {
+			row[i] = profiles[i].Pressure[r]
+		}
+	}
+
 	// Anchors: one per distinct sibling signature, capped at maxVictims.
 	anchors := e.sigs
 	if len(anchors) > maxVictims {
@@ -385,19 +428,13 @@ func (e *Episode) Candidates(maxVictims int) []*mining.Result {
 		for pass := 0; pass < 12; pass++ {
 			for ci, i := range idxs {
 				num, den := lambda*alphaPrior, lambda
-				for _, r := range sim.UncoreResources() {
-					if !e.uncore.known[r] {
-						continue
-					}
-					m := e.uncore.obs.Get(r)
-					if m >= saturatedFloor {
-						continue
-					}
-					s := profiles[i].Pressure[r]
-					resid := m
+				for k := range fitR {
+					row := profT[k*n : (k+1)*n]
+					s := row[i]
+					resid := fitM[k]
 					for cj, j := range idxs {
 						if cj != ci {
-							resid -= alphas[cj] * profiles[j].Pressure[r]
+							resid -= alphas[cj] * row[j]
 						}
 					}
 					num += s * resid
@@ -414,11 +451,8 @@ func (e *Episode) Candidates(maxVictims int) []*mining.Result {
 			}
 		}
 		err, wsum := 0.0, 0.0
-		for _, r := range sim.UncoreResources() {
-			if !e.uncore.known[r] {
-				continue
-			}
-			m := e.uncore.obs.Get(r)
+		for k, r := range errR {
+			m := errM[k]
 			pred := 0.0
 			for ci, i := range idxs {
 				pred += alphas[ci] * profiles[i].Pressure[r]

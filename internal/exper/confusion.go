@@ -46,26 +46,45 @@ func Confusion(seed uint64) *Report {
 	cells := map[[2]int]int{}
 	correct := 0
 
-	for i, spec := range victims {
+	// Trials are independent (each builds its own server and adversary),
+	// so they fan out on the episode pool: one RNG stream is split off per
+	// trial serially here, each body consumes only its own stream, and the
+	// per-trial outcomes are folded into the confusion matrix in trial
+	// order below — identical bytes at every pool width.
+	type trialOutcome struct {
+		gotLabel, gotClass string
+	}
+	trialRngs := make([]*stats.RNG, len(victims))
+	for i := range trialRngs {
+		trialRngs[i] = rng.Split()
+	}
+	outcomes := make([]trialOutcome, len(victims))
+	forEachEpisode(len(victims), func(i int) {
+		trng := trialRngs[i]
+		spec := victims[i]
 		s := sim.NewServer("s0", sim.ServerConfig{})
-		app := workload.NewApp(spec, workload.Constant{Level: rng.Range(0.85, 1)}, rng.Uint64())
+		app := workload.NewApp(spec, workload.Constant{Level: trng.Range(0.85, 1)}, trng.Uint64())
 		if err := s.Place(&sim.VM{ID: "v", VCPUs: 3, App: app}); err != nil {
 			panic(err)
 		}
-		adv := probe.NewAdversary("bolt", 4, probe.Config{}, rng.Split())
+		adv := probe.NewAdversary("bolt", 4, probe.Config{}, trng.Split())
 		if err := s.Place(adv.VM); err != nil {
 			panic(err)
 		}
 		d := det.Detect(s, adv, sim.Tick(i*5000), 1)
 		best := d.Result.Best()
-		ti, gi := idx(spec.Class), idx(best.Class)
+		outcomes[i] = trialOutcome{gotLabel: best.Label, gotClass: best.Class}
+	})
+	for i, spec := range victims {
+		out := outcomes[i]
+		ti, gi := idx(spec.Class), idx(out.gotClass)
 		cells[[2]int{ti, gi}]++
-		if core.LabelMatches(best.Label, spec.Label) {
+		if core.LabelMatches(out.gotLabel, spec.Label) {
 			correct++
 			continue
 		}
-		prof, ok := profileFor(det, best.Label)
-		m := miss{truth: spec.Class, got: best.Class}
+		prof, ok := profileFor(det, out.gotLabel)
+		m := miss{truth: spec.Class, got: out.gotClass}
 		if ok {
 			truthTop := spec.Base.TopK(2)
 			gotTop := prof.TopK(2)

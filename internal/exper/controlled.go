@@ -140,6 +140,14 @@ func (cr *ControlledResult) ClassAccuracy() map[string]float64 {
 	return out
 }
 
+// episodeTickStride is the deterministic spacing between per-host episode
+// start ticks in the controlled experiment. Hosts are independent worlds
+// (the tick only phases each host's own load patterns), so the stride
+// carries no physics — it only needs to dwarf the longest episode
+// (MaxIterations × ramps + shutter windows + fault backoff, well under a
+// thousand ticks) so per-host timelines read sensibly in traces.
+const episodeTickStride = 1 << 13
+
 // RunControlled executes the controlled experiment.
 func RunControlled(cfg ControlledConfig) *ControlledResult {
 	cfg = cfg.withDefaults()
@@ -232,14 +240,25 @@ func runControlled(cfg ControlledConfig, rng *stats.RNG) *ControlledResult {
 	sort.Strings(hostNames)
 
 	res := &ControlledResult{Detector: det, SchedulerName: cfg.Scheduler.Name()}
-	var when sim.Tick
-	for _, hostName := range hostNames {
+	// Per-host episodes run on the episode worker pool. Each body touches
+	// only its own host's server, VMs, and adversary (whose RNG stream was
+	// pre-split in the serial placement phase above) plus the immutable
+	// shared detector, and writes into its own slot of hostRecords — merged
+	// in sorted-host order below, so the result is byte-identical at every
+	// pool width. The episode start tick is a fixed per-host stride rather
+	// than the previous host's cumulative episode length: hosts are
+	// independent worlds, so the tick only phases their load patterns, and
+	// a deterministic schedule is what makes the episodes parallelisable.
+	hostRecords := make([][]VictimRecord, len(hostNames))
+	forEachEpisode(len(hostNames), func(hi int) {
+		hostName := hostNames[hi]
 		vs := byHost[hostName]
 		adv, ok := advs[hostName]
 		if !ok {
-			continue
+			return
 		}
 		host := cl.HostOf(adv.VM.ID)
+		when := sim.Tick(hi) * episodeTickStride
 		correctAt := make([]int, len(vs))
 		charOK := make([]bool, len(vs))
 		ep := det.NewEpisode(host, adv)
@@ -280,8 +299,9 @@ func runControlled(cfg ControlledConfig, rng *stats.RNG) *ControlledResult {
 			}
 		}
 		label, conf, unknown := ep.Grade(lastRes)
+		records := make([]VictimRecord, 0, len(vs))
 		for vi, v := range vs {
-			res.Records = append(res.Records, VictimRecord{
+			records = append(records, VictimRecord{
 				Spec:             v.spec,
 				Host:             hostName,
 				CoResidents:      len(vs),
@@ -296,7 +316,10 @@ func runControlled(cfg ControlledConfig, rng *stats.RNG) *ControlledResult {
 				Unknown:          unknown,
 			})
 		}
-		when += ep.Ticks + 100
+		hostRecords[hi] = records
+	})
+	for _, records := range hostRecords {
+		res.Records = append(res.Records, records...)
 	}
 	// Aggregate injection counters in deterministic (sorted host) order.
 	for _, hostName := range hostNames {

@@ -3,7 +3,6 @@ package exper
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"bolt/internal/cluster"
 	"bolt/internal/core"
@@ -20,21 +19,15 @@ var table1Classes = []string{"memcached", "hadoop", "spark", "cassandra", "specc
 func Table1(seed uint64) *Report {
 	rep := newReport("table1", "Detection accuracy: least-loaded vs Quasar")
 
-	// Train once, then run the two scheduler variants concurrently (each
-	// derives all randomness from the shared seed independently).
+	// Train once, then run the two scheduler variants on the episode pool
+	// (each derives all randomness from the shared seed independently).
 	det := core.TrainCached(workload.TrainingSpecs(seed), core.Config{})
-	var ll, qu *ControlledResult
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
-		ll = RunControlled(ControlledConfig{Seed: seed, Scheduler: cluster.LeastLoaded{}, Detector: det})
-	}()
-	go func() {
-		defer wg.Done()
-		qu = RunControlled(ControlledConfig{Seed: seed, Scheduler: cluster.Quasar{}, Detector: det})
-	}()
-	wg.Wait()
+	schedulers := []cluster.Scheduler{cluster.LeastLoaded{}, cluster.Quasar{}}
+	results := make([]*ControlledResult, len(schedulers))
+	forEachEpisode(len(schedulers), func(i int) {
+		results[i] = RunControlled(ControlledConfig{Seed: seed, Scheduler: schedulers[i], Detector: det})
+	})
+	ll, qu := results[0], results[1]
 
 	tb := trace.NewTable("Table 1: Bolt's detection accuracy (controlled experiment)",
 		"Applications", "Least Load scheduler", "Quasar scheduler")

@@ -40,14 +40,21 @@ func FaultRate(seed uint64) *Report {
 	accs := make([]float64, 0, n)
 	unks := make([]float64, 0, n)
 	miss := make([]float64, 0, n)
-	for _, rate := range faultRates {
-		res := RunControlled(ControlledConfig{
+	// Rates are independent runs (each RunControlled derives every stream
+	// from cfg.Seed), so the sweep fans out on the episode pool and the
+	// table/figure rows are assembled from the slots in sweep order.
+	results := make([]*ControlledResult, n)
+	forEachEpisode(n, func(i int) {
+		results[i] = RunControlled(ControlledConfig{
 			Seed:     seed,
 			Servers:  20,
 			Victims:  54,
 			Detector: det,
-			ProbeCfg: probe.Config{Faults: fault.Config{Rate: rate}},
+			ProbeCfg: probe.Config{Faults: fault.Config{Rate: faultRates[i]}},
 		})
+	})
+	for ri, rate := range faultRates {
+		res := results[ri]
 		correct, unknown, wrong := 0, 0, 0
 		confSum, tickSum := 0.0, 0.0
 		for _, r := range res.Records {

@@ -69,15 +69,22 @@ func Insights(seed uint64) *Report {
 	// when only a single resource is observed (plus completion). A
 	// high-value resource should identify more victims on its own.
 	victims := workload.VictimSpecs(seed, 60)
+	// The observation rows don't depend on which resource is "known", so
+	// they are built once; each per-resource sweep then shares one mask
+	// across all victims — exactly the shape DetectBatch fuses into a single
+	// multi-victim fold-in pass instead of 60 independent completions.
+	obs := make([][]float64, len(victims))
+	for i, spec := range victims {
+		obs[i] = spec.Base.Slice()
+	}
 	tb2 := trace.NewTable("Single-resource detection accuracy (exact observation)",
 		"Resource", "Accuracy")
 	for _, r := range sim.AllResources() {
 		known := make([]bool, sim.NumResources)
 		known[r] = true
 		correct := 0
-		for _, spec := range victims {
-			res := det.Rec.Detect(spec.Base.Slice(), known)
-			if core.LabelMatches(res.Best().Label, spec.Label) {
+		for i, res := range det.Rec.DetectBatch(obs, known) {
+			if core.LabelMatches(res.Best().Label, victims[i].Label) {
 				correct++
 			}
 		}

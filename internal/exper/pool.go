@@ -1,0 +1,141 @@
+package exper
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// episodeWorkers is the width of the intra-experiment episode pool;
+// 0 means GOMAXPROCS. It is process-global (like fault.Default) because it
+// is a pure throughput knob: every episode draws from its own pre-split
+// stats.RNG stream and results merge in input order, so the rendered
+// output is byte-identical at every width. The deterministic-suite
+// contract forbids flipping it mid-run for the same reason it forbids
+// flipping the fault default: not because results would change, but so a
+// run's recorded configuration stays meaningful.
+var episodeWorkers atomic.Int32
+
+// SetEpisodeWorkers fixes how many episodes may run concurrently inside
+// one experiment (the boltbench -epworkers knob). n <= 0 restores the
+// default (GOMAXPROCS at use time).
+func SetEpisodeWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	episodeWorkers.Store(int32(n))
+}
+
+// EpisodeWorkers returns the current episode pool width.
+func EpisodeWorkers() int {
+	if n := int(episodeWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// WorkerPanic is re-raised on the caller's goroutine when a body run by
+// fanOut panics in a pool worker. It preserves the original panic value
+// and the worker's stack while letting the caller's own defers (profile
+// writers, partially buffered reports, test cleanups) run — a bare panic
+// on a worker goroutine would kill the process without unwinding anyone
+// else.
+type WorkerPanic struct {
+	Index int    // input index whose body panicked
+	Label string // human-readable unit, e.g. "experiment fig6"
+	Value any    // the original panic value
+	Stack string // the worker goroutine's stack at recovery
+}
+
+// Error implements error so recover()ed callers can treat the value
+// uniformly.
+func (p *WorkerPanic) Error() string {
+	label := p.Label
+	if label == "" {
+		label = fmt.Sprintf("input %d", p.Index)
+	}
+	return fmt.Sprintf("exper: %s panicked: %v\n\nworker stack:\n%s", label, p.Value, p.Stack)
+}
+
+// fanOut runs body(i) for every i in [0, n) with at most workers bodies in
+// flight and returns once all have finished. Bodies communicate results
+// through index-addressed slots, so callers merge in input order — the
+// same emit-in-input-order discipline Run uses for reports, which is what
+// keeps output byte-identical at every worker count. workers <= 1 (or
+// n <= 1) runs inline on the caller's goroutine.
+//
+// A panic inside a body is recovered on the worker, the remaining indices
+// still run, and after every worker has drained the lowest-index panic is
+// re-raised on the caller's goroutine as a *WorkerPanic. label (optional)
+// names the failing unit in that error.
+func fanOut(n, workers int, label func(int) string, body func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+
+	var mu sync.Mutex
+	var wp *WorkerPanic
+	runSafe := func(i int) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			stack := string(debug.Stack())
+			mu.Lock()
+			// Keep the lowest-index panic so the re-raised failure is
+			// deterministic regardless of worker scheduling.
+			if wp == nil || i < wp.Index {
+				wp = &WorkerPanic{Index: i, Value: v, Stack: stack}
+				if label != nil {
+					wp.Label = label(i)
+				}
+			}
+			mu.Unlock()
+		}()
+		body(i)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runSafe(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if wp != nil {
+		panic(wp)
+	}
+}
+
+// forEachEpisode runs body(i) for every i in [0, n) on the episode worker
+// pool. It is the intra-experiment counterpart of Run: the caller splits
+// one RNG stream per episode serially up front, bodies consume only their
+// own stream and write into their own result slot, and the caller merges
+// slots in input order afterwards — so output bytes are identical at every
+// pool width. Concurrent bodies must touch disjoint servers/VMs (episodes
+// on different hosts, or trials on private servers); shared detectors are
+// safe by their immutability contract.
+func forEachEpisode(n int, body func(int)) {
+	fanOut(n, EpisodeWorkers(), nil, body)
+}

@@ -2,7 +2,6 @@ package exper
 
 import (
 	"runtime"
-	"sync"
 	"time"
 )
 
@@ -23,40 +22,23 @@ type RunResult struct {
 // parallel=8 and parallel=1 yields byte-for-byte the same rendered
 // reports. Only the wall-clock interleaving differs, which is why Elapsed
 // is the sole field a caller must not compare across runs.
+//
+// A panic inside an experiment does not take the process down with a bare
+// worker-goroutine trace: fanOut recovers it, lets the other experiments
+// finish, and re-raises it on the caller's goroutine as a *WorkerPanic
+// naming the experiment — so the caller's defers (boltbench's profile
+// writers in particular) still run.
 func Run(exps []Experiment, seed uint64, parallel int) []RunResult {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
-	if parallel > len(exps) {
-		parallel = len(exps)
-	}
 	results := make([]RunResult, len(exps))
-	runOne := func(i int) {
-		start := time.Now() //bolt:nolint detrand -- Elapsed is diagnostic-only and documented as never compared across runs; no report bytes derive from it
-		rep := exps[i].Run(seed)
-		results[i] = RunResult{Experiment: exps[i], Report: rep, Elapsed: time.Since(start)} //bolt:nolint detrand -- same: wall-clock feeds only the Elapsed diagnostic field
-	}
-	if parallel <= 1 {
-		for i := range exps {
-			runOne(i)
-		}
-		return results
-	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < parallel; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				runOne(i)
-			}
-		}()
-	}
-	for i := range exps {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	fanOut(len(exps), parallel,
+		func(i int) string { return "experiment " + exps[i].ID },
+		func(i int) {
+			start := time.Now() //bolt:nolint detrand -- Elapsed is diagnostic-only and documented as never compared across runs; no report bytes derive from it
+			rep := exps[i].Run(seed)
+			results[i] = RunResult{Experiment: exps[i], Report: rep, Elapsed: time.Since(start)} //bolt:nolint detrand -- same: wall-clock feeds only the Elapsed diagnostic field
+		})
 	return results
 }

@@ -52,6 +52,10 @@ func Figure8(seed uint64) *Report {
 
 	detections, correct := 0, 0
 	tb := trace.NewTable("Detections over the timeline", "t (s)", "active phase", "detected", "match")
+	// This timeline is genuinely sequential and stays off the episode
+	// pool: every interval re-detects on the same server with the same
+	// adversary, whose measurement-noise stream and kernel state carry
+	// over from one interval to the next.
 	for t := sim.Tick(0); t < total; t += detectEverySec * sim.TicksPerSecond {
 		// Record the ground-truth demand for the pressure plot.
 		d := seq.Demand(t)
@@ -113,38 +117,50 @@ func fig10aInterval(seed uint64, det *core.Detector, rep *Report) *trace.Figure 
 	const trials = 30
 	meanPhaseSec := 300.0
 	var xs, ys []float64
+	// Each trial builds a private server/victim/adversary, so the trials of
+	// every interval fan out on the episode pool: streams are pre-split
+	// serially (one per trial), bodies consume only their own stream, and
+	// the hit counts fold back in trial order.
+	trialRngs := make([]*stats.RNG, trials)
+	hits := make([]bool, trials)
 	for _, intervalSec := range intervals {
-		correct, total := 0, 0
-		for tr := 0; tr < trials; tr++ {
+		for tr := range trialRngs {
+			trialRngs[tr] = rng.Split()
+		}
+		forEachEpisode(trials, func(tr int) {
+			trng := trialRngs[tr]
 			// Build a phase-changing victim.
 			var phases []workload.Phase
 			gens := workload.Generators()
 			for p := 0; p < 8; p++ {
-				g := gens[rng.Intn(len(gens))]
+				g := gens[trng.Intn(len(gens))]
 				phases = append(phases, workload.Phase{
-					Spec:     g.Make(rng.Split(), rng.Intn(24)),
-					Pattern:  workload.Constant{Level: rng.Range(0.85, 1)},
-					Duration: sim.Tick(rng.Exp(meanPhaseSec) * sim.TicksPerSecond),
+					Spec:     g.Make(trng.Split(), trng.Intn(24)),
+					Pattern:  workload.Constant{Level: trng.Range(0.85, 1)},
+					Duration: sim.Tick(trng.Exp(meanPhaseSec) * sim.TicksPerSecond),
 				})
 			}
-			seq := workload.NewSequence(phases, rng.Uint64())
+			seq := workload.NewSequence(phases, trng.Uint64())
 			s := sim.NewServer("s0", sim.ServerConfig{})
 			if err := s.Place(&sim.VM{ID: "v", VCPUs: 3, App: seq}); err != nil {
 				panic(err)
 			}
-			adv := probe.NewAdversary("bolt", 4, probe.Config{}, rng.Split())
+			adv := probe.NewAdversary("bolt", 4, probe.Config{}, trng.Split())
 			if err := s.Place(adv.VM); err != nil {
 				panic(err)
 			}
 
 			// One detection at t0; checked against the phase at a random
 			// point within the following interval.
-			t0 := sim.Tick(rng.Range(0, 120) * sim.TicksPerSecond)
+			t0 := sim.Tick(trng.Range(0, 120) * sim.TicksPerSecond)
 			res := det.Detect(s, adv, t0, 1)
-			check := t0 + sim.Tick(rng.Range(0, intervalSec)*sim.TicksPerSecond)
+			check := t0 + sim.Tick(trng.Range(0, intervalSec)*sim.TicksPerSecond)
 			active := seq.ActiveSpec(check)
-			total++
-			if core.LabelMatches(res.Result.Best().Label, active.Label) {
+			hits[tr] = core.LabelMatches(res.Result.Best().Label, active.Label)
+		})
+		correct, total := 0, trials
+		for _, hit := range hits {
+			if hit {
 				correct++
 			}
 		}
@@ -167,22 +183,33 @@ func fig10bVMSize(seed uint64, det *core.Detector, rep *Report) *trace.Figure {
 	const trials = 40
 
 	var xs, ys []float64
+	trialRngs := make([]*stats.RNG, trials)
+	hits := make([]bool, trials)
 	for _, size := range sizes {
-		correct := 0
 		victims := workload.VictimSpecs(seed^uint64(size), trials)
-		for tr := 0; tr < trials; tr++ {
+		// Pre-split one stream per trial, fan the trials out, count in order.
+		for tr := range trialRngs {
+			trialRngs[tr] = rng.Split()
+		}
+		forEachEpisode(trials, func(tr int) {
+			trng := trialRngs[tr]
+			hits[tr] = false
 			s := sim.NewServer("s0", sim.ServerConfig{Cores: 16, ThreadsPerCore: 2})
 			spec := victims[tr]
-			app := workload.NewApp(spec, workload.Constant{Level: rng.Range(0.85, 1)}, rng.Uint64())
+			app := workload.NewApp(spec, workload.Constant{Level: trng.Range(0.85, 1)}, trng.Uint64())
 			if err := s.Place(&sim.VM{ID: "v", VCPUs: 3, App: app}); err != nil {
 				panic(err)
 			}
-			adv := probe.NewAdversary("bolt", size, probe.Config{}, rng.Split())
+			adv := probe.NewAdversary("bolt", size, probe.Config{}, trng.Split())
 			if err := s.Place(adv.VM); err != nil {
-				continue
+				return
 			}
 			res := det.Detect(s, adv, sim.Tick(tr*5000), 1)
-			if core.LabelMatches(res.Result.Best().Label, spec.Label) {
+			hits[tr] = core.LabelMatches(res.Result.Best().Label, spec.Label)
+		})
+		correct := 0
+		for _, hit := range hits {
+			if hit {
 				correct++
 			}
 		}
@@ -205,22 +232,28 @@ func fig10cBenchmarks(seed uint64, det *core.Detector, rep *Report) *trace.Figur
 	const trials = 40
 
 	var xs, ys []float64
+	trialRngs := make([]*stats.RNG, trials)
+	hits := make([]bool, trials)
 	for _, n := range counts {
 		detN := core.TrainCached(workload.TrainingSpecs(seed), core.Config{
 			ExtraBench:    maxInt(0, n-2),
 			MaxIterations: 1,
 		})
 		_ = det
-		correct := 0
 		victims := workload.VictimSpecs(seed^uint64(n)<<8, trials)
-		for tr := 0; tr < trials; tr++ {
+		// Pre-split one stream per trial, fan the trials out, count in order.
+		for tr := range trialRngs {
+			trialRngs[tr] = rng.Split()
+		}
+		forEachEpisode(trials, func(tr int) {
+			trng := trialRngs[tr]
 			s := sim.NewServer("s0", sim.ServerConfig{})
 			spec := victims[tr]
-			app := workload.NewApp(spec, workload.Constant{Level: rng.Range(0.85, 1)}, rng.Uint64())
+			app := workload.NewApp(spec, workload.Constant{Level: trng.Range(0.85, 1)}, trng.Uint64())
 			if err := s.Place(&sim.VM{ID: "v", VCPUs: 3, App: app}); err != nil {
 				panic(err)
 			}
-			adv := probe.NewAdversary("bolt", 4, probe.Config{}, rng.Split())
+			adv := probe.NewAdversary("bolt", 4, probe.Config{}, trng.Split())
 			if err := s.Place(adv.VM); err != nil {
 				panic(err)
 			}
@@ -236,7 +269,11 @@ func fig10cBenchmarks(seed uint64, det *core.Detector, rep *Report) *trace.Figur
 				res := ep.Step(sim.Tick(tr * 5000))
 				best = res.Best().Label
 			}
-			if core.LabelMatches(best, spec.Label) {
+			hits[tr] = core.LabelMatches(best, spec.Label)
+		})
+		correct := 0
+		for _, hit := range hits {
+			if hit {
 				correct++
 			}
 		}

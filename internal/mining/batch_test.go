@@ -1,0 +1,117 @@
+package mining
+
+import (
+	"testing"
+
+	"bolt/internal/stats"
+)
+
+// batchObservations builds a batch of random sparse observations sharing the
+// returned known mask (at least one entry known unless knownProb is 0).
+func batchObservations(rng *stats.RNG, b, n int, knownProb float64) ([][]float64, []bool) {
+	known := make([]bool, n)
+	for j := range known {
+		known[j] = rng.Bool(knownProb)
+	}
+	obs := make([][]float64, b)
+	for i := range obs {
+		obs[i] = make([]float64, n)
+		for j := range obs[i] {
+			if known[j] {
+				obs[i][j] = rng.Range(0, 100)
+			}
+		}
+	}
+	return obs, known
+}
+
+// TestCompleteBatchIntoBitExact pins the tentpole claim: the fused
+// multi-victim fold-in produces, row for row, exactly the bits of the solo
+// CompleteInto loop — with the convergence gate on and off, across mask
+// densities from empty to full, and across repeated calls (the pooled batch
+// scratch must not leak state between batches).
+func TestCompleteBatchIntoBitExact(t *testing.T) {
+	const n = 10
+	train := trainMatrix(11, 30, n)
+	for _, cfg := range []CompletionConfig{
+		{MaxVal: 100, Seed: 5},
+		{MaxVal: 100, Seed: 5, FixedFoldIn: true},
+	} {
+		c := NewCompleter(train, cfg)
+		rng := stats.NewRNG(99)
+		for trial, knownProb := range []float64{0.2, 0.5, 0, 1, 0.3} {
+			b := 1 + int(rng.Uint64()%7)
+			obs, known := batchObservations(rng, b, n, knownProb)
+			batched := make([][]float64, b)
+			for i := range batched {
+				batched[i] = make([]float64, n)
+			}
+			c.CompleteBatchInto(batched, obs, known)
+			solo := make([]float64, n)
+			for i := range obs {
+				c.CompleteInto(solo, obs[i], known)
+				for j := range solo {
+					if batched[i][j] != solo[j] {
+						t.Fatalf("fixed=%v trial %d: batched row %d col %d = %v, solo = %v",
+							cfg.FixedFoldIn, trial, i, j, batched[i][j], solo[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompleteBatchIntoDegenerate: an empty batch is a no-op, and a
+// single-row batch matches the solo path exactly.
+func TestCompleteBatchIntoDegenerate(t *testing.T) {
+	const n = 10
+	c := NewCompleter(trainMatrix(3, 20, n), CompletionConfig{MaxVal: 100, Seed: 2})
+	c.CompleteBatchInto(nil, nil, nil) // empty batch: mask unchecked, nothing to do
+
+	rng := stats.NewRNG(4)
+	obs, known := batchObservations(rng, 1, n, 0.3)
+	got := [][]float64{make([]float64, n)}
+	c.CompleteBatchInto(got, obs, known)
+	want := make([]float64, n)
+	c.CompleteInto(want, obs[0], known)
+	for j := range want {
+		if got[0][j] != want[j] {
+			t.Fatalf("single-row batch col %d = %v, solo = %v", j, got[0][j], want[j])
+		}
+	}
+}
+
+// TestDetectBatchBitExact pins the recommender layer: DetectBatch returns,
+// per row, exactly the Result Detect would have returned — same completed
+// pressure bits, same similarity bits, same ranking.
+func TestDetectBatchBitExact(t *testing.T) {
+	rng := stats.NewRNG(17)
+	rec := NewRecommender(synthTrain(rng), RecommenderConfig{})
+	n := rec.ResourceCount()
+	for _, knownProb := range []float64{0.1, 0.4} {
+		obs, known := batchObservations(rng, 6, n, knownProb)
+		batched := rec.DetectBatch(obs, known)
+		if len(batched) != len(obs) {
+			t.Fatalf("DetectBatch returned %d results for %d rows", len(batched), len(obs))
+		}
+		for i, got := range batched {
+			want := rec.Detect(obs[i], known)
+			for j := range want.Pressure {
+				if got.Pressure[j] != want.Pressure[j] {
+					t.Fatalf("row %d pressure[%d] = %v, solo = %v", i, j, got.Pressure[j], want.Pressure[j])
+				}
+			}
+			if len(got.Matches) != len(want.Matches) {
+				t.Fatalf("row %d has %d matches, solo %d", i, len(got.Matches), len(want.Matches))
+			}
+			for m := range want.Matches {
+				if got.Matches[m] != want.Matches[m] {
+					t.Fatalf("row %d match %d = %+v, solo %+v", i, m, got.Matches[m], want.Matches[m])
+				}
+			}
+		}
+	}
+	if out := rec.DetectBatch(nil, nil); len(out) != 0 {
+		t.Fatalf("DetectBatch(nil) returned %d results", len(out))
+	}
+}

@@ -96,6 +96,39 @@ type completeScratch struct {
 	kidx  []int     // indices of the known observations
 }
 
+// batchScratch is the working memory of one CompleteBatchInto call, pooled on
+// the Completer and regrown in place when a larger batch arrives, so repeated
+// batched completions at a steady batch size allocate nothing.
+type batchScratch struct {
+	us   []float64 // B×r fold-in factor rows
+	prev []float64 // B×r sweep-boundary snapshots for the convergence gate
+	errs []float64 // per-row residual at the current column (B)
+	ws   []float64 // per-row kernel weight at the current training row (B)
+	wsum []float64 // per-row kernel weight totals (B)
+	act  []bool    // rows whose fold-in has not yet converged (B)
+	ests []float64 // B×n neighbourhood estimates
+	kidx []int     // indices of the known observations (shared mask)
+}
+
+func (s *batchScratch) grow(b, r, n int) {
+	if cap(s.us) < b*r {
+		s.us = make([]float64, b*r)
+		s.prev = make([]float64, b*r)
+	}
+	if cap(s.errs) < b {
+		s.errs = make([]float64, b)
+		s.ws = make([]float64, b)
+		s.wsum = make([]float64, b)
+		s.act = make([]bool, b)
+	}
+	if cap(s.ests) < b*n {
+		s.ests = make([]float64, b*n)
+	}
+	if cap(s.kidx) < n {
+		s.kidx = make([]int, 0, n)
+	}
+}
+
 // Completer performs PQ matrix completion with stochastic gradient descent:
 // it factorises the training utility matrix A ≈ P Qᵀ, then folds in a new
 // sparse row (the 2-3 profiled resources) to predict the missing entries.
@@ -117,6 +150,7 @@ type Completer struct {
 	colMeans []float64 // training column means (neighbourhood fallback)
 	n        int
 	scratch  sync.Pool // *completeScratch
+	batch    sync.Pool // *batchScratch
 }
 
 // NewCompleter factorises the dense training matrix (one row per training
@@ -173,6 +207,7 @@ func NewCompleter(train *Matrix, cfg CompletionConfig) *Completer {
 			kidx:  make([]int, 0, n),
 		}
 	}
+	c.batch.New = func() any { return &batchScratch{} }
 	return c
 }
 
@@ -226,27 +261,33 @@ func (c *Completer) CompleteInto(dst, observed []float64, known []bool) {
 	// low, so it is relaxed here.
 	lr, reg := 0.01, c.cfg.Reg*0.1
 	fixed := c.cfg.FixedFoldIn || forceFixedFoldIn.Load()
-	for it := 0; it < foldInIters; it++ {
-		copy(prev, u)
-		for _, j := range s.kidx {
-			qj := c.q.Data[j*r : (j+1)*r : (j+1)*r]
-			err := observed[j] - Dot(u, qj)
-			foldStep(u, qj, lr, err, reg)
-		}
-		if fixed {
-			continue
-		}
-		maxDelta, maxU := 0.0, 0.0
-		for k := range u {
-			if d := math.Abs(u[k] - prev[k]); d > maxDelta {
-				maxDelta = d
+	if r == 6 {
+		// The default rank; the specialised solve keeps the six factor
+		// coordinates in registers across the whole gated loop.
+		foldSolve6(u, c.q.Data, s.kidx, observed, lr, reg, fixed)
+	} else {
+		for it := 0; it < foldInIters; it++ {
+			copy(prev, u)
+			for _, j := range s.kidx {
+				qj := c.q.Data[j*r : (j+1)*r : (j+1)*r]
+				err := observed[j] - Dot(u, qj)
+				foldStep(u, qj, lr, err, reg)
 			}
-			if a := math.Abs(u[k]); a > maxU {
-				maxU = a
+			if fixed {
+				continue
 			}
-		}
-		if maxDelta <= foldInTol*maxU {
-			break
+			maxDelta, maxU := 0.0, 0.0
+			for k := range u {
+				if d := math.Abs(u[k] - prev[k]); d > maxDelta {
+					maxDelta = d
+				}
+				if a := math.Abs(u[k]); a > maxU {
+					maxU = a
+				}
+			}
+			if maxDelta <= foldInTol*maxU {
+				break
+			}
 		}
 	}
 
@@ -268,6 +309,185 @@ func (c *Completer) CompleteInto(dst, observed []float64, known []bool) {
 	}
 }
 
+// CompleteBatchInto completes a batch of sparse observations that share one
+// known mask — the shape of a multi-victim accuracy sweep, where every victim
+// is probed on the same resources — in a single fused fold-in pass.
+// dst and observed are parallel slices of B rows, each of length n; row b of
+// dst receives exactly what CompleteInto(dst[b], observed[b], known) would
+// have produced, bit for bit (pinned by TestCompleteBatchIntoBitExact).
+//
+// The fusion is in the loop order: each fold-in sweep walks the known columns
+// once and applies that column's update to every still-unconverged row
+// (DotRows/FoldStepRows), so the r-vector q[j] is loaded once per sweep for
+// the whole batch instead of once per victim; likewise the neighbourhood term
+// streams each training row once and folds it into every estimate (AxpyRows).
+// Per row, the floating-point op sequence is unchanged — rows are independent
+// in the solve, so reordering across rows cannot change any row's bits — and
+// the convergence gate is tracked per row, each stopping at the same sweep it
+// would have stopped at alone.
+func (c *Completer) CompleteBatchInto(dst, observed [][]float64, known []bool) {
+	if len(dst) != len(observed) {
+		panic("mining: CompleteBatchInto batch size mismatch")
+	}
+	nb := len(observed)
+	if nb == 0 {
+		return
+	}
+	if len(known) != c.n {
+		panic("mining: Complete length mismatch")
+	}
+	for b := range observed {
+		if len(observed[b]) != c.n {
+			panic("mining: Complete length mismatch")
+		}
+		if len(dst[b]) != c.n {
+			panic("mining: CompleteInto dst length mismatch")
+		}
+	}
+	r := c.cfg.Rank
+	s := c.batch.Get().(*batchScratch)
+	defer c.batch.Put(s)
+	s.grow(nb, r, c.n)
+
+	kidx := s.kidx[:0]
+	for j, k := range known {
+		if k {
+			kidx = append(kidx, j)
+		}
+	}
+	s.kidx = kidx
+
+	// Batched fold-in: the solo solve's sweep loop with the row loop moved
+	// inside the column loop. Row b's updates against column j happen in the
+	// same sweep, in the same ascending-kidx order, with the same values as
+	// in CompleteInto, so each row's factor trajectory is identical.
+	us := s.us[:nb*r]
+	prev := s.prev[:nb*r]
+	errs := s.errs[:nb]
+	act := s.act[:nb]
+	for i := range us {
+		us[i] = 0
+	}
+	remaining := nb
+	for b := range act {
+		act[b] = true
+	}
+	lr, reg := 0.01, c.cfg.Reg*0.1
+	fixed := c.cfg.FixedFoldIn || forceFixedFoldIn.Load()
+	for it := 0; it < foldInIters && remaining > 0; it++ {
+		copy(prev, us)
+		for _, j := range kidx {
+			qj := c.q.Data[j*r : (j+1)*r : (j+1)*r]
+			DotRows(us, r, qj, errs, act)
+			for b, a := range act {
+				if a {
+					errs[b] = observed[b][j] - errs[b]
+				}
+			}
+			FoldStepRows(us, r, qj, lr, errs, reg, act)
+		}
+		if fixed {
+			continue
+		}
+		for b, a := range act {
+			if !a {
+				continue
+			}
+			u := us[b*r : (b+1)*r]
+			pv := prev[b*r : (b+1)*r]
+			maxDelta, maxU := 0.0, 0.0
+			for k := range u {
+				if d := math.Abs(u[k] - pv[k]); d > maxDelta {
+					maxDelta = d
+				}
+				if m := math.Abs(u[k]); m > maxU {
+					maxU = m
+				}
+			}
+			if maxDelta <= foldInTol*maxU {
+				act[b] = false
+				remaining--
+			}
+		}
+	}
+
+	ests := c.neighbourEstimateBatch(s, observed)
+	for b := range dst {
+		u := us[b*r : (b+1)*r]
+		neighbour := ests[b*c.n : (b+1)*c.n]
+		db, ob := dst[b], observed[b]
+		for j := 0; j < c.n; j++ {
+			if known[j] {
+				db[j] = ob[j]
+				continue
+			}
+			qj := c.q.Data[j*r : (j+1)*r]
+			v := Dot(u, qj)
+			if !c.cfg.unbounded {
+				v = clamp(v, c.cfg.MinVal, c.cfg.MaxVal)
+			}
+			db[j] = 0.3*v + 0.7*neighbour[j]
+		}
+	}
+}
+
+// neighbourEstimateBatch is neighbourEstimate with the training-row loop
+// hoisted outside the batch: each training row is read from memory once and
+// accumulated into every observation's estimate (AxpyRows), instead of being
+// re-streamed per victim. Per row b the weight sequence, the w == 0 skip, and
+// the ascending-i accumulation order all match the solo kernel, so ests row b
+// is bit-identical to neighbourEstimate(·, observed[b]). The returned flat
+// B×n slice is s.ests, valid until the scratch is reused.
+func (c *Completer) neighbourEstimateBatch(s *batchScratch, observed [][]float64) []float64 {
+	nb := len(observed)
+	ests := s.ests[:nb*c.n]
+	for i := range ests {
+		ests[i] = 0
+	}
+	if len(s.kidx) == 0 {
+		// Nothing known: fall back to column means.
+		for b := 0; b < nb; b++ {
+			copy(ests[b*c.n:(b+1)*c.n], c.colMeans)
+		}
+		return ests
+	}
+	ws := s.ws[:nb]
+	wsum := s.wsum[:nb]
+	for b := range wsum {
+		wsum[b] = 0
+	}
+	for i := 0; i < c.train.Rows; i++ {
+		row := c.train.Data[i*c.n : (i+1)*c.n]
+		for b := 0; b < nb; b++ {
+			d := 0.0
+			ob := observed[b]
+			for _, j := range s.kidx {
+				diff := ob[j] - row[j]
+				d += diff * diff
+			}
+			rms := d / float64(len(s.kidx))
+			w := gaussKernel(rms, kernelWidth)
+			ws[b] = w
+			if w != 0 {
+				wsum[b] += w
+			}
+		}
+		AxpyRows(ws, row, ests, c.n)
+	}
+	for b := 0; b < nb; b++ {
+		est := ests[b*c.n : (b+1)*c.n]
+		if wsum[b] == 0 {
+			// Nothing nearby: fall back to column means.
+			copy(est, c.colMeans)
+			continue
+		}
+		for j := range est {
+			est[j] /= wsum[b]
+		}
+	}
+	return ests
+}
+
 // neighbourEstimate predicts every column as the similarity-weighted mean
 // of the training rows nearest to the observation on its known coordinates
 // (s.kidx). Weights follow a Gaussian kernel on the RMS distance, so close
@@ -276,7 +496,6 @@ func (c *Completer) CompleteInto(dst, observed []float64, known []bool) {
 //
 //bolt:hotpath
 func (c *Completer) neighbourEstimate(s *completeScratch, observed []float64) []float64 {
-	const kernelWidth = 12.0 // pressure points
 	est := s.est[:c.n]
 	for j := range est {
 		est[j] = 0
@@ -312,6 +531,10 @@ func (c *Completer) neighbourEstimate(s *completeScratch, observed []float64) []
 	}
 	return est
 }
+
+// kernelWidth is the Gaussian-kernel bandwidth of the neighbourhood
+// estimate, in pressure points.
+const kernelWidth = 12.0
 
 // gaussKernel returns exp(−rms²/(2w²)) given the squared RMS distance,
 // cutting off to exactly zero for far rows.

@@ -7,6 +7,8 @@
 // updates that the call sites previously spelled out element by element.
 package mining
 
+import "math"
+
 // Dot returns the inner product of two equal-length vectors. The sum is
 // accumulated strictly left to right, exactly like the naive loop.
 //
@@ -53,6 +55,66 @@ func Axpy(alpha float64, x, y []float64) {
 	}
 }
 
+// DotRows computes out[b] = Dot(us[b*stride : b*stride+len(q)], q) for every
+// row b with active[b], leaving inactive slots of out untouched. us is the
+// row-major B×stride factor matrix of a batched fold-in; sharing one pass
+// over q across all rows is what turns B separate fold-in sweeps into one
+// fused sweep with q hot in cache. Each active row's accumulation is exactly
+// Dot on its subslice, so the result is bit-identical to the per-row kernel.
+//
+//bolt:hotpath
+func DotRows(us []float64, stride int, q, out []float64, active []bool) {
+	if len(q) > stride {
+		panic("mining: DotRows stride shorter than q")
+	}
+	for b := range out {
+		if !active[b] {
+			continue
+		}
+		off := b * stride
+		out[b] = Dot(us[off:off+len(q):off+len(q)], q)
+	}
+}
+
+// FoldStepRows applies foldStep to every row b with active[b], using the
+// per-row residual errs[b]. Row b's update is exactly
+// foldStep(us[b*stride:...], q, lr, errs[b], reg) — the batched fold-in's
+// inner kernel, bit-identical per row to the solo solve.
+//
+//bolt:hotpath
+func FoldStepRows(us []float64, stride int, q []float64, lr float64, errs []float64, reg float64, active []bool) {
+	if len(q) > stride {
+		panic("mining: FoldStepRows stride shorter than q")
+	}
+	for b := range errs {
+		if !active[b] {
+			continue
+		}
+		off := b * stride
+		foldStep(us[off:off+len(q):off+len(q)], q, lr, errs[b], reg)
+	}
+}
+
+// AxpyRows performs ys[b*stride:] += ws[b]*x for every row b whose weight is
+// nonzero — the accumulation kernel of the batched neighbourhood estimate,
+// where one training row is streamed once and folded into every victim's
+// estimate. A zero weight skips the row entirely, matching the solo
+// neighbourEstimate's w == 0 short-circuit bit for bit.
+//
+//bolt:hotpath
+func AxpyRows(ws []float64, x, ys []float64, stride int) {
+	if len(x) > stride {
+		panic("mining: AxpyRows stride shorter than x")
+	}
+	for b := range ws {
+		if ws[b] == 0 {
+			continue
+		}
+		off := b * stride
+		Axpy(ws[b], x, ys[off:off+len(x):off+len(x)])
+	}
+}
+
 // sgdStep applies one coupled SGD factor update for a single training cell:
 //
 //	p[k] += lr * (err*q[k] - reg*p[k])
@@ -87,4 +149,83 @@ func foldStep(u, q []float64, lr, err, reg float64) {
 		uk := u[k]
 		u[k] = uk + lr*(err*q[k]-reg*uk)
 	}
+}
+
+// foldSolve6 is the rank-6 specialisation of CompleteInto's gated fold-in
+// solve — the whole sweep loop with the six factor coordinates held in
+// registers, so a sweep touches memory only for q and the observed entries.
+// Each statement replicates the generic path's floating-point sequence:
+// the dot product accumulates left to right exactly like Dot, the update is
+// foldStep's expression per coordinate, and the convergence gate runs the
+// same per-coordinate comparisons in the same order. Bit-identity with the
+// generic (and batched) path is pinned by TestCompleteBatchIntoBitExact,
+// whose batch side still runs the scalar kernels.
+//
+//bolt:hotpath
+func foldSolve6(u, qdata []float64, kidx []int, observed []float64, lr, reg float64, fixed bool) {
+	u0, u1, u2, u3, u4, u5 := u[0], u[1], u[2], u[3], u[4], u[5]
+	for it := 0; it < foldInIters; it++ {
+		p0, p1, p2, p3, p4, p5 := u0, u1, u2, u3, u4, u5
+		for _, j := range kidx {
+			q := qdata[j*6 : j*6+6 : j*6+6]
+			s := 0.0
+			s += u0 * q[0]
+			s += u1 * q[1]
+			s += u2 * q[2]
+			s += u3 * q[3]
+			s += u4 * q[4]
+			s += u5 * q[5]
+			err := observed[j] - s
+			u0 += lr * (err*q[0] - reg*u0)
+			u1 += lr * (err*q[1] - reg*u1)
+			u2 += lr * (err*q[2] - reg*u2)
+			u3 += lr * (err*q[3] - reg*u3)
+			u4 += lr * (err*q[4] - reg*u4)
+			u5 += lr * (err*q[5] - reg*u5)
+		}
+		if fixed {
+			continue
+		}
+		maxDelta, maxU := 0.0, 0.0
+		if d := math.Abs(u0 - p0); d > maxDelta {
+			maxDelta = d
+		}
+		if a := math.Abs(u0); a > maxU {
+			maxU = a
+		}
+		if d := math.Abs(u1 - p1); d > maxDelta {
+			maxDelta = d
+		}
+		if a := math.Abs(u1); a > maxU {
+			maxU = a
+		}
+		if d := math.Abs(u2 - p2); d > maxDelta {
+			maxDelta = d
+		}
+		if a := math.Abs(u2); a > maxU {
+			maxU = a
+		}
+		if d := math.Abs(u3 - p3); d > maxDelta {
+			maxDelta = d
+		}
+		if a := math.Abs(u3); a > maxU {
+			maxU = a
+		}
+		if d := math.Abs(u4 - p4); d > maxDelta {
+			maxDelta = d
+		}
+		if a := math.Abs(u4); a > maxU {
+			maxU = a
+		}
+		if d := math.Abs(u5 - p5); d > maxDelta {
+			maxDelta = d
+		}
+		if a := math.Abs(u5); a > maxU {
+			maxU = a
+		}
+		if maxDelta <= foldInTol*maxU {
+			break
+		}
+	}
+	u[0], u[1], u[2], u[3], u[4], u[5] = u0, u1, u2, u3, u4, u5
 }

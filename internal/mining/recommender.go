@@ -311,6 +311,33 @@ func (r *Recommender) Detect(observed []float64, known []bool) *Result {
 	return r.detect(s.dense, known, s)
 }
 
+// DetectBatch runs Detect over a batch of observations that share one known
+// mask — the shape of a multi-victim accuracy sweep, where every victim is
+// probed on the same resources. The missing entries of all rows are
+// recovered in one fused fold-in pass (CompleteBatchInto) and the ranking
+// stage reuses a single centred-profile scratch across the batch, so N
+// detections cost one batched completion plus N rankings instead of N of
+// each. Each returned Result is bit-identical to Detect(observed[b], known)
+// (pinned by TestDetectBatchBitExact).
+func (r *Recommender) DetectBatch(observed [][]float64, known []bool) []*Result {
+	out := make([]*Result, len(observed))
+	if len(observed) == 0 {
+		return out
+	}
+	flat := make([]float64, len(observed)*r.n)
+	dense := make([][]float64, len(observed))
+	for b := range dense {
+		dense[b] = flat[b*r.n : (b+1)*r.n]
+	}
+	r.complete.CompleteBatchInto(dense, observed, known)
+	s := r.scratch.Get().(*detectScratch)
+	defer r.scratch.Put(s)
+	for b := range dense {
+		out[b] = r.detect(dense[b], known, s)
+	}
+	return out
+}
+
 // measuredBoost is the weight multiplier a directly profiled resource gets
 // over an inferred one in the similarity computation.
 const measuredBoost = 4.0

@@ -149,6 +149,14 @@ type Adversary struct {
 	// across iterations. An adversary is single-flow by construction (its
 	// rng state already serialises use), so a plain field suffices.
 	uncorePerm []int
+	// orderBuf backs ProfileOnce's benchmark order; resBuf backs the
+	// Resources list of the Profile the Profile* passes return; sigBuf backs
+	// CoreSignatures' signature list. All three are reused across profiling
+	// calls (see the Profile.Resources lifetime note) — the episode loop
+	// runs thousands of passes and these were its last per-pass allocations.
+	orderBuf []sim.Resource
+	resBuf   []sim.Resource
+	sigBuf   []sim.Vector
 	// faults is the adversary's fault-injection plane; nil (the common
 	// case) means no injection and zero extra random draws.
 	faults *fault.Plane
@@ -285,6 +293,10 @@ func (a *Adversary) Ramp(s *sim.Server, r sim.Resource, start sim.Tick) Measurem
 // vector, which resources were actually measured, how long it took, and
 // whether the adversary shares a core with any co-resident (zero core
 // pressure when not).
+//
+// Resources aliases a buffer owned by the adversary and is valid only until
+// its next Profile* call; callers that fold the profile into their own state
+// immediately (the episode loop) need no copy, anyone else must take one.
 type Profile struct {
 	Observed   sim.Vector
 	Known      [sim.NumResources]bool
@@ -307,10 +319,14 @@ func (p *Profile) Sparse() ([]float64, []bool) {
 func (a *Adversary) ProfileOnce(s *sim.Server, start sim.Tick, extraBench int) Profile {
 	a.installFaults(s)
 	var p Profile
+	p.Resources = a.resBuf[:0]
 	core := sim.CoreResources()
 	uncore := sim.UncoreResources()
 
-	order := make([]sim.Resource, 0, 3+extraBench)
+	if cap(a.orderBuf) < 3+extraBench {
+		a.orderBuf = make([]sim.Resource, 0, 3+extraBench)
+	}
+	order := a.orderBuf[:0]
 	order = append(order, core[a.rng.Intn(len(core))])
 	if len(a.uncorePerm) != len(uncore) {
 		a.uncorePerm = make([]int, len(uncore))
@@ -374,6 +390,7 @@ func (a *Adversary) ProfileOnce(s *sim.Server, start sim.Tick, extraBench int) P
 		p.Known[r] = true
 	}
 	a.faults.Settle()
+	a.orderBuf, a.resBuf = order, p.Resources
 	p.Ticks = t - start
 	return p
 }
@@ -384,6 +401,7 @@ func (a *Adversary) ProfileOnce(s *sim.Server, start sim.Tick, extraBench int) P
 func (a *Adversary) ProfileCore(s *sim.Server, start sim.Tick) Profile {
 	a.installFaults(s)
 	var p Profile
+	p.Resources = a.resBuf[:0]
 	t := start
 	for _, r := range sim.CoreResources() {
 		m, ok := a.measure(s, r, t)
@@ -405,13 +423,17 @@ func (a *Adversary) ProfileCore(s *sim.Server, start sim.Tick) Profile {
 		p.Known = [sim.NumResources]bool{}
 	}
 	a.faults.Settle()
+	a.resBuf = p.Resources
 	p.Ticks = t - start
 	return p
 }
 
 // CoreSignatures measures the core-resource pressure on each physical core
 // the adversary occupies, returning one 4-entry signature per core that
-// carries sibling pressure. Because hyperthreads are never shared between
+// carries sibling pressure. The returned slice may alias a buffer owned by
+// the adversary and is valid until its next CoreSignatures call; callers
+// that keep signatures across passes merge them immediately
+// (MergeSignatures copies). Because hyperthreads are never shared between
 // VMs, each signature belongs to exactly one co-resident — the anchor the
 // mixture disentangling of §3.3 is built on. Probes on different cores run
 // concurrently (the adversary owns one hyperthread on each), so the time
@@ -425,7 +447,7 @@ func (a *Adversary) CoreSignatures(s *sim.Server, start sim.Tick) ([]sim.Vector,
 	// sorted ascending — the order the map+sort construction used to yield.
 	coreIdxs := a.VM.Cores()
 
-	var sigs []sim.Vector
+	sigs := a.sigBuf[:0]
 	var maxTicks sim.Tick
 	for _, coreIdx := range coreIdxs {
 		var sig sim.Vector
@@ -446,6 +468,7 @@ func (a *Adversary) CoreSignatures(s *sim.Server, start sim.Tick) ([]sim.Vector,
 			sigs = append(sigs, sig)
 		}
 	}
+	a.sigBuf = sigs
 	return dedupSignatures(sigs), maxTicks
 }
 
@@ -484,8 +507,13 @@ func MergeSignatures(old, new []sim.Vector) []sim.Vector {
 	return dedupSignatures(append(append([]sim.Vector(nil), old...), new...))
 }
 
-// dedupSignatures merges near-identical signatures by averaging.
+// dedupSignatures merges near-identical signatures by averaging. Zero- and
+// one-entry inputs are returned as-is (nothing can merge), so the common
+// single-sibling episode pays no allocation here.
 func dedupSignatures(sigs []sim.Vector) []sim.Vector {
+	if len(sigs) < 2 {
+		return sigs
+	}
 	var out []sim.Vector
 	counts := []int{}
 	for _, sig := range sigs {
@@ -527,6 +555,7 @@ func (a *Adversary) ProfileUncore(s *sim.Server, start sim.Tick, resources []sim
 		resources = sim.UncoreResources()
 	}
 	var p Profile
+	p.Resources = a.resBuf[:0]
 	t := start
 	for _, r := range resources {
 		if r.IsCore() {
@@ -542,9 +571,13 @@ func (a *Adversary) ProfileUncore(s *sim.Server, start sim.Tick, resources []sim
 		p.Known[r] = true
 	}
 	a.faults.Settle()
+	a.resBuf = p.Resources
 	p.Ticks = t - start
 	return p
 }
+
+// mrcLevels is the LLC-intensity sweep of the miss-ratio-curve probe.
+var mrcLevels = [...]float64{0, 30, 60, 90}
 
 // CacheResponseSlope runs the miss-ratio-curve probe: the adversary sweeps
 // its own LLC kernel across several intensities and measures how the
@@ -556,11 +589,13 @@ func (a *Adversary) ProfileUncore(s *sim.Server, start sim.Tick, resources []sim
 func (a *Adversary) CacheResponseSlope(s *sim.Server, start sim.Tick) (float64, sim.Tick) {
 	a.installFaults(s)
 	defer a.Kernels.Set(sim.LLC, 0)
-	levels := []float64{0, 30, 60, 90}
 	const ticksPerLevel = 2
-	var xs, ys []float64
+	// The sweep is at most four points; stack arrays keep the per-call
+	// regression allocation-free on the episode escalation path.
+	var xs, ys [len(mrcLevels)]float64
+	n := 0
 	var used sim.Tick
-	for _, level := range levels {
+	for _, level := range mrcLevels {
 		if level > a.Kernels.MaxIntensity {
 			break
 		}
@@ -571,16 +606,17 @@ func (a *Adversary) CacheResponseSlope(s *sim.Server, start sim.Tick) (float64, 
 				a.rng.Norm(0, a.cfg.NoiseSD/2)
 			used++
 		}
-		xs = append(xs, level/100)
-		ys = append(ys, sum/float64(ticksPerLevel))
+		xs[n] = level / 100
+		ys[n] = sum / float64(ticksPerLevel)
+		n++
 	}
-	if len(xs) < 2 {
+	if n < 2 {
 		return 0, used
 	}
 	// Least-squares slope.
-	mx, my := meanOf(xs), meanOf(ys)
+	mx, my := meanOf(xs[:n]), meanOf(ys[:n])
 	num, den := 0.0, 0.0
-	for i := range xs {
+	for i := 0; i < n; i++ {
 		num += (xs[i] - mx) * (ys[i] - my)
 		den += (xs[i] - mx) * (xs[i] - mx)
 	}
@@ -618,6 +654,28 @@ type ShutterSample struct {
 // approximates the pressure of the busiest single co-resident when another
 // one idles.
 func (a *Adversary) Shutter(s *sim.Server, start sim.Tick, samples int, window sim.Tick) ([]ShutterSample, sim.Vector) {
+	if samples <= 0 {
+		samples = 10
+	}
+	out := make([]ShutterSample, 0, samples)
+	minV := a.shutterPass(s, start, samples, window, func(sm ShutterSample) {
+		out = append(out, sm)
+	})
+	return out, minV
+}
+
+// ShutterMin is Shutter returning only the per-resource minima, for callers
+// that fold the quietest moment into a stream and discard the individual
+// samples (the episode escalation ladder). It consumes exactly the random
+// draws Shutter does, so swapping between the two shifts no stream, and it
+// allocates nothing.
+func (a *Adversary) ShutterMin(s *sim.Server, start sim.Tick, samples int, window sim.Tick) sim.Vector {
+	return a.shutterPass(s, start, samples, window, nil)
+}
+
+// shutterPass is the shared shutter loop: visit (optional) receives every
+// sample, and the per-resource minima are returned.
+func (a *Adversary) shutterPass(s *sim.Server, start sim.Tick, samples int, window sim.Tick, visit func(ShutterSample)) sim.Vector {
 	a.installFaults(s)
 	if samples <= 0 {
 		samples = 10
@@ -625,7 +683,6 @@ func (a *Adversary) Shutter(s *sim.Server, start sim.Tick, samples int, window s
 	if window <= 0 {
 		window = sim.Tick(samples)
 	}
-	out := make([]ShutterSample, 0, samples)
 	var minV sim.Vector
 	for _, r := range sim.UncoreResources() {
 		minV.Set(r, 100)
@@ -640,7 +697,9 @@ func (a *Adversary) Shutter(s *sim.Server, start sim.Tick, samples int, window s
 				minV.Set(r, stats.Clamp(v, 0, 100))
 			}
 		}
-		out = append(out, ShutterSample{At: t, Observed: obs})
+		if visit != nil {
+			visit(ShutterSample{At: t, Observed: obs})
+		}
 	}
-	return out, minV
+	return minV
 }

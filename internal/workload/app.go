@@ -47,6 +47,18 @@ type App struct {
 	Pattern LoadPattern
 	Start   sim.Tick // tick at which the app began running
 	seed    uint64
+
+	// memoVal/memoTick cache the last Demand evaluation. Demand is a pure
+	// function of the tick (hash-based noise, no mutable RNG state), so the
+	// cache is bit-exact by construction. It matters because one simulator
+	// tick evaluates the same app several times — the observation snapshot
+	// asks every VM top-level, and a co-resident Reactive's one-step
+	// relaxation asks everyone again mid-build. An App belongs to one VM on
+	// one host and is evaluated only under that host's detection flow, so a
+	// plain field is safe (same single-flow argument as probe.Adversary).
+	memoVal   sim.Vector
+	memoTick  sim.Tick
+	memoValid bool
 }
 
 // NewApp instantiates spec with the given noise seed, starting at tick 0.
@@ -79,19 +91,24 @@ func (a *App) noise(t sim.Tick, r sim.Resource) float64 {
 
 // Demand implements sim.Demander: the base profile split into a fixed and a
 // load-following component, modulated by the pattern and jitter.
+//bolt:hotpath
 func (a *App) Demand(t sim.Tick) sim.Vector {
+	if a.memoValid && a.memoTick == t {
+		return a.memoVal
+	}
 	rel := t - a.Start
 	if rel < 0 {
 		return sim.Vector{}
 	}
 	load := a.Pattern.Factor(rel)
 	var out sim.Vector
-	for _, r := range sim.AllResources() {
+	for r := sim.Resource(0); r < sim.NumResources; r++ {
 		base := a.Spec.Base.Get(r)
 		frac := a.Spec.LoadScaled.Get(r) / 100
 		level := base*(1-frac) + base*frac*load
 		out.Set(r, level*a.noise(t, r))
 	}
+	a.memoVal, a.memoTick, a.memoValid = out, t, true
 	return out
 }
 
