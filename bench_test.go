@@ -16,8 +16,10 @@ import (
 	"sort"
 	"testing"
 
+	"bolt/internal/cluster"
 	"bolt/internal/core"
 	"bolt/internal/exper"
+	"bolt/internal/fleet"
 	"bolt/internal/mining"
 	"bolt/internal/probe"
 	"bolt/internal/sim"
@@ -355,10 +357,74 @@ func benchRunner(b *testing.B, parallel int) {
 }
 
 func BenchmarkSuite(b *testing.B) {
-	for _, parallel := range []int{1, 4, 8} {
+	for _, parallel := range []int{1, 2, 4, 8} {
 		parallel := parallel
 		b.Run(fmt.Sprintf("parallel%d", parallel), func(b *testing.B) {
 			benchRunner(b, parallel)
 		})
+	}
+}
+
+// --- The fleet tick engine ---
+
+// benchFleetTick advances a populated fleet one tick per iteration on the
+// sharded engine, with every server running the representative monitor
+// body (one RNG draw, two observation-plane reads, a data-dependent
+// event). ticks/s is reported as the headline throughput — the number the
+// BENCH_fleet.json floor gates on — and server-ticks/s as the
+// size-independent rate. Output is byte-identical at every worker count,
+// so Fleet/*/workersN sweeps measure pure scheduling.
+func benchFleetTick(b *testing.B, servers, workers int) {
+	b.Helper()
+	fleet.SetShardWorkers(workers)
+	defer fleet.SetShardWorkers(0)
+
+	rng := stats.NewRNG(benchSeed)
+	cl := cluster.New(servers, sim.ServerConfig{}, cluster.LeastLoaded{})
+	mk := []func(*stats.RNG, int) workload.Spec{
+		workload.Memcached, workload.Hadoop, workload.Spark,
+	}
+	for i, s := range cl.Servers {
+		for j := 0; j < 5; j++ {
+			spec := mk[(i+j)%len(mk)](rng.Split(), i+j)
+			app := workload.NewApp(spec, workload.Constant{Level: 0.35}, rng.Uint64())
+			vm := &sim.VM{ID: fmt.Sprintf("vm-%d-%d", i, j), VCPUs: 1 + (i+j)%3, App: app}
+			if err := s.Place(vm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	engine := fleet.NewEngine(cl, rng.Split())
+	monitor := func(w *fleet.World) {
+		r := sim.Resource(w.RNG.Intn(sim.NumResources))
+		p := w.Server.ObservedPressure(nil, r, w.Tick) +
+			w.Server.ObservedPressure(nil, sim.DiskBW, w.Tick)
+		if p > 120 {
+			w.Emit(int(r), "", p)
+		}
+	}
+	engine.Tick(0, monitor) // warm the demand memos and event buffers
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Tick(sim.Tick(i+1), monitor)
+	}
+	b.StopTimer()
+	perTick := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(1/perTick, "ticks/s")
+	b.ReportMetric(float64(servers)/perTick, "server-ticks/s")
+}
+
+// BenchmarkFleetTick sweeps fleet size × shard workers. The 4096-server
+// rows are the ISSUE's target datacenter (~20k VMs at 5 VMs/server).
+func BenchmarkFleetTick(b *testing.B) {
+	for _, servers := range []int{256, 4096} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			servers, workers := servers, workers
+			b.Run(fmt.Sprintf("servers%d/workers%d", servers, workers), func(b *testing.B) {
+				benchFleetTick(b, servers, workers)
+			})
+		}
 	}
 }

@@ -8,7 +8,9 @@
 //
 // -append merges the new results into an existing -out file (replacing
 // same-name benchmarks), so microbenchmarks can be recorded at a stable
-// iteration count and the slow suite benchmarks at a small one.
+// iteration count and the slow suite benchmarks at a small one. A
+// benchmark name appearing twice — within one run, or surviving a merge —
+// is an error: the recorded trajectory keys on names.
 //
 // It shells out to `go test -run ^$ -bench <regex> -benchmem` and parses
 // the standard benchmark output lines, e.g.
@@ -100,6 +102,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines matched")
 		os.Exit(1)
 	}
+	// One run must yield one result per name: a duplicate means the regex
+	// matched the same benchmark in several packages (or -count > 1), and
+	// silently keeping both would make the recorded trajectory ambiguous —
+	// and -append's same-name replacement nondeterministic.
+	if dup := firstDuplicate(report.Benchmarks); dup != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: benchmark %q appears more than once in this run; narrow -bench or -pkg so each name is unique\n", dup)
+		os.Exit(1)
+	}
 
 	if *appendOut {
 		if prev, err := os.ReadFile(*out); err == nil {
@@ -121,6 +131,12 @@ func main() {
 			report.Benchmarks = append(merged, report.Benchmarks...)
 			report.Bench = old.Bench + "|" + *bench
 			report.BenchTime = old.BenchTime + "," + *benchtime
+			// Guard the merged set too: an existing file written before
+			// duplicates were rejected may already carry one.
+			if dup := firstDuplicate(report.Benchmarks); dup != "" {
+				fmt.Fprintf(os.Stderr, "benchjson: -append: benchmark %q would appear more than once in %s; regenerate the file without -append\n", dup, *out)
+				os.Exit(1)
+			}
 		}
 	}
 
@@ -135,6 +151,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+// firstDuplicate returns the first benchmark name that appears more than
+// once, or "".
+func firstDuplicate(results []Result) string {
+	seen := make(map[string]bool, len(results))
+	for _, r := range results {
+		if seen[r.Name] {
+			return r.Name
+		}
+		seen[r.Name] = true
+	}
+	return ""
 }
 
 // parseLine parses one `BenchmarkName-N  iters  X ns/op  Y B/op  Z allocs/op`

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	boltbench [-seed N] [-run id[,id...]] [-parallel N] [-epworkers N] [-json] [-list]
+//	boltbench [-seed N] [-run id[,id...]] [-parallel N] [-epworkers N]
+//	          [-shardworkers N] [-fleet N] [-json] [-list]
 //
 // Without -run it executes all experiments in paper order. Experiment IDs
 // match the per-experiment index in DESIGN.md (table1, fig2, ... ablation);
@@ -16,6 +17,13 @@
 // every episode draws from its own pre-split RNG stream, so stdout is
 // byte-identical for a given seed at every -parallel × -epworkers
 // combination. Timing goes to stderr.
+//
+// The fleet experiment additionally ticks its simulated datacenter on a
+// sharded worker pool (-shardworkers, default GOMAXPROCS); per-server RNG
+// pre-splitting and the server-id-ordered tick barrier keep stdout
+// byte-identical at every -shardworkers level too. -fleet pins the fleet's
+// server count (e.g. 4096 for the ~20k-VM datacenter run); unlike the
+// worker knobs it changes the experiment itself, not just its schedule.
 //
 // -cpuprofile and -memprofile write pprof profiles of the run (the
 // standard `go tool pprof` format); the memory profile is taken after a
@@ -33,6 +41,7 @@ import (
 
 	"bolt/internal/exper"
 	"bolt/internal/fault"
+	"bolt/internal/fleet"
 )
 
 // main is a thin wrapper: all work happens in run so that its defers
@@ -51,6 +60,10 @@ func run() (code int) {
 		"max experiments in flight at once (results are identical at any level)")
 	epworkers := flag.Int("epworkers", 0,
 		"max episodes in flight inside one experiment; 0 = GOMAXPROCS (results are identical at any level)")
+	shardworkers := flag.Int("shardworkers", 0,
+		"max fleet-tick shards in flight inside the fleet experiment; 0 = GOMAXPROCS (results are identical at any level)")
+	fleetSize := flag.Int("fleet", 0,
+		"server count for the fleet experiment; 0 sweeps the default fleet-size ladder (different values are different experiments)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after final GC) to this file")
 	faultRate := flag.Float64("faultrate", 0,
@@ -65,6 +78,8 @@ func run() (code int) {
 	// contract forbids flipping either knob mid-run).
 	fault.SetDefault(fault.Config{Rate: *faultRate})
 	exper.SetEpisodeWorkers(*epworkers)
+	fleet.SetShardWorkers(*shardworkers)
+	exper.SetFleetServers(*fleetSize)
 
 	if *list {
 		for _, e := range exper.All() {

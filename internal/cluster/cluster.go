@@ -22,12 +22,22 @@ type Scheduler interface {
 	Name() string
 }
 
-// Cluster is a fleet of servers under one scheduler.
+// Cluster is a fleet of servers under one scheduler. It is not safe for
+// concurrent use (fleet tick bodies must not place, migrate, or resolve
+// hosts — cluster mutation happens between ticks).
 type Cluster struct {
 	Servers []*sim.Server
 	Sched   Scheduler
 	// Migrations counts live migrations performed.
 	Migrations int
+
+	// byVM maps VM id → hosting server, so HostOf is O(1) instead of a
+	// scan over the whole fleet (it mirrors Server.Lookup one level up).
+	// Experiments also place and remove VMs directly on servers, behind
+	// the cluster's back, so every entry is a *hint*: HostOf verifies it
+	// against the server's own VM table and falls back to a scan-and-
+	// repair when it is stale.
+	byVM map[string]*sim.Server
 }
 
 // ErrClusterFull is returned when no server can host a VM.
@@ -42,6 +52,15 @@ func New(n int, cfg sim.ServerConfig, sched Scheduler) *Cluster {
 	return c
 }
 
+// index returns the id→server hint map, allocating it on first use so
+// zero-value and literal-constructed Clusters work too.
+func (c *Cluster) index() map[string]*sim.Server {
+	if c.byVM == nil {
+		c.byVM = make(map[string]*sim.Server)
+	}
+	return c.byVM
+}
+
 // Place schedules the VM and returns the hosting server.
 func (c *Cluster) Place(vm *sim.VM, t sim.Tick) (*sim.Server, error) {
 	i := c.Sched.Pick(c.Servers, vm, t)
@@ -51,17 +70,38 @@ func (c *Cluster) Place(vm *sim.VM, t sim.Tick) (*sim.Server, error) {
 	if err := c.Servers[i].Place(vm); err != nil {
 		return nil, err
 	}
+	c.index()[vm.ID] = c.Servers[i]
 	return c.Servers[i], nil
 }
 
-// HostOf returns the server hosting the VM with the given ID, or nil.
+// HostOf returns the server hosting the VM with the given ID, or nil. The
+// indexed fast path answers in O(1); a stale or missing entry (a VM placed
+// or removed directly on a server) falls back to the scan and repairs the
+// index.
 func (c *Cluster) HostOf(id string) *sim.Server {
+	if s, ok := c.byVM[id]; ok && s.Lookup(id) != nil {
+		return s
+	}
 	for _, s := range c.Servers {
 		if s.Lookup(id) != nil {
+			c.index()[id] = s
 			return s
 		}
 	}
+	delete(c.byVM, id)
 	return nil
+}
+
+// Remove deletes the VM from whichever server hosts it and returns that
+// server, or nil when the VM is unknown.
+func (c *Cluster) Remove(id string) *sim.Server {
+	s := c.HostOf(id)
+	if s == nil {
+		return nil
+	}
+	s.Remove(id)
+	delete(c.byVM, id)
+	return s
 }
 
 // Migrate moves a VM to the least-loaded other server (the DoS defence of
@@ -88,12 +128,15 @@ func (c *Cluster) Migrate(id string, t sim.Tick) (*sim.Server, error) {
 	}
 	src.Remove(id)
 	if err := c.Servers[best].Place(vm); err != nil {
-		// Roll back so the VM is not lost.
+		// Roll back so the VM is not lost. The index entry still points at
+		// src, which the rollback makes true again.
 		if rbErr := src.Place(vm); rbErr != nil {
+			delete(c.byVM, id)
 			return nil, fmt.Errorf("cluster: migration failed (%v) and rollback failed (%v)", err, rbErr)
 		}
 		return nil, err
 	}
+	c.index()[id] = c.Servers[best]
 	c.Migrations++
 	return c.Servers[best], nil
 }

@@ -102,10 +102,12 @@ func All() []Experiment {
 		{"fig14", "Detection accuracy under isolation mechanisms", Figure14},
 		{"isocost", "Performance and utilisation cost of core isolation", IsolationCost},
 		{"ablation", "Design ablations: hybrid recommender, weighting, energy, shutter", Ablations},
-		// faultrate is appended last so the suite's output for the
-		// pre-existing experiments remains a byte-identical prefix of every
-		// earlier golden capture.
+		// faultrate and fleet are appended after the paper-order experiments
+		// (each new PR appends after the previous) so the suite's output for
+		// the pre-existing experiments remains a byte-identical prefix of
+		// every earlier golden capture.
 		{"faultrate", "Detection accuracy under injected measurement faults", FaultRate},
+		{"fleet", "Fleet-scale scheduler-guided co-location (launch-strategy sweep)", FleetExp},
 	}
 }
 

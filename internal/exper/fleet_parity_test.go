@@ -1,0 +1,44 @@
+package exper
+
+import (
+	"bytes"
+	"testing"
+
+	"bolt/internal/fleet"
+)
+
+// TestFleetExpParityAcrossShardWorkers is the fleet-scale determinism
+// contract at the experiment level: the rendered fleet report must be
+// byte-identical between the serial single-worker reference and every
+// sharded -shardworkers level, including widths that do not divide the
+// server count. The engine-level parity test (internal/fleet) checks the
+// event stream; this one checks everything layered on top — scheduler
+// decisions, probe scores, candidate judgments, the formatted table.
+func TestFleetExpParityAcrossShardWorkers(t *testing.T) {
+	render := func(workers int) []byte {
+		fleet.SetShardWorkers(workers)
+		defer fleet.SetShardWorkers(0)
+		var buf bytes.Buffer
+		FleetExp(42).Render(&buf)
+		return buf.Bytes()
+	}
+	ref := render(1)
+	if len(ref) == 0 {
+		t.Fatal("serial reference rendered no output")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := render(workers)
+		if !bytes.Equal(got, ref) {
+			i := 0
+			for i < len(got) && i < len(ref) && got[i] == ref[i] {
+				i++
+			}
+			lo := i - 60
+			if lo < 0 {
+				lo = 0
+			}
+			t.Fatalf("shardworkers=%d output diverged from serial reference at byte %d: …%q…",
+				workers, i, ref[lo:min(i+60, len(ref))])
+		}
+	}
+}

@@ -1,11 +1,10 @@
 package exper
 
 import (
-	"fmt"
 	"runtime"
-	"runtime/debug"
-	"sync"
 	"sync/atomic"
+
+	"bolt/internal/par"
 )
 
 // episodeWorkers is the width of the intra-experiment episode pool;
@@ -36,96 +35,17 @@ func EpisodeWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// WorkerPanic is re-raised on the caller's goroutine when a body run by
-// fanOut panics in a pool worker. It preserves the original panic value
-// and the worker's stack while letting the caller's own defers (profile
-// writers, partially buffered reports, test cleanups) run — a bare panic
-// on a worker goroutine would kill the process without unwinding anyone
-// else.
-type WorkerPanic struct {
-	Index int    // input index whose body panicked
-	Label string // human-readable unit, e.g. "experiment fig6"
-	Value any    // the original panic value
-	Stack string // the worker goroutine's stack at recovery
-}
-
-// Error implements error so recover()ed callers can treat the value
-// uniformly.
-func (p *WorkerPanic) Error() string {
-	label := p.Label
-	if label == "" {
-		label = fmt.Sprintf("input %d", p.Index)
-	}
-	return fmt.Sprintf("exper: %s panicked: %v\n\nworker stack:\n%s", label, p.Value, p.Stack)
-}
+// WorkerPanic is the panic wrapper re-raised on the caller's goroutine when
+// a pool body panics. The type (and the fan-out discipline around it) moved
+// to internal/par so the fleet tick engine could share them; the alias
+// keeps exper's public contract — Run and forEachEpisode re-raise
+// *WorkerPanic — spelled the way callers recovered it before the move.
+type WorkerPanic = par.WorkerPanic
 
 // fanOut runs body(i) for every i in [0, n) with at most workers bodies in
-// flight and returns once all have finished. Bodies communicate results
-// through index-addressed slots, so callers merge in input order — the
-// same emit-in-input-order discipline Run uses for reports, which is what
-// keeps output byte-identical at every worker count. workers <= 1 (or
-// n <= 1) runs inline on the caller's goroutine.
-//
-// A panic inside a body is recovered on the worker, the remaining indices
-// still run, and after every worker has drained the lowest-index panic is
-// re-raised on the caller's goroutine as a *WorkerPanic. label (optional)
-// names the failing unit in that error.
+// flight; see par.FanOut for the merge and panic discipline.
 func fanOut(n, workers int, label func(int) string, body func(int)) {
-	if n <= 0 {
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		return
-	}
-
-	var mu sync.Mutex
-	var wp *WorkerPanic
-	runSafe := func(i int) {
-		defer func() {
-			v := recover()
-			if v == nil {
-				return
-			}
-			stack := string(debug.Stack())
-			mu.Lock()
-			// Keep the lowest-index panic so the re-raised failure is
-			// deterministic regardless of worker scheduling.
-			if wp == nil || i < wp.Index {
-				wp = &WorkerPanic{Index: i, Value: v, Stack: stack}
-				if label != nil {
-					wp.Label = label(i)
-				}
-			}
-			mu.Unlock()
-		}()
-		body(i)
-	}
-
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				runSafe(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	if wp != nil {
-		panic(wp)
-	}
+	par.FanOut(n, workers, label, body)
 }
 
 // forEachEpisode runs body(i) for every i in [0, n) on the episode worker

@@ -17,6 +17,9 @@ var deterministicPkgs = []string{
 	"bolt/internal/probe",
 	"bolt/internal/stats",
 	"bolt/internal/fault",
+	"bolt/internal/fleet",
+	"bolt/internal/par",
+	"bolt/internal/cluster",
 }
 
 // isDeterministicPkg reports whether path is one of the deterministic

@@ -1,0 +1,173 @@
+// Package par provides the repository's deterministic fan-out primitives:
+// bounded worker pools whose results merge in input order and whose panics
+// re-raise on the caller's goroutine, lowest index first.
+//
+// Two layers of the system share this discipline. The experiment runner and
+// the episode pool (internal/exper) fan out over heterogeneous units of
+// work — experiments, per-host episodes — and feed a work channel so slow
+// units don't starve the pool. The fleet tick engine (internal/fleet) fans
+// out over thousands of homogeneous per-server tick bodies and uses
+// contiguous block shards instead, so a 4096-server tick costs a handful of
+// goroutine handoffs rather than thousands of channel operations.
+//
+// Both shapes preserve the property every deterministic layer above relies
+// on: bodies communicate results only through index-addressed slots, so the
+// merged output is byte-identical at every worker count, and a panic in one
+// body never tears down the process without unwinding the caller.
+package par
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// WorkerPanic is re-raised on the caller's goroutine when a body run by
+// FanOut or FanOutBlocks panics in a pool worker. It preserves the original
+// panic value and the worker's stack while letting the caller's own defers
+// (profile writers, partially buffered reports, test cleanups) run — a bare
+// panic on a worker goroutine would kill the process without unwinding
+// anyone else.
+type WorkerPanic struct {
+	Index int    // input index whose body panicked
+	Label string // human-readable unit, e.g. "experiment fig6"
+	Value any    // the original panic value
+	Stack string // the worker goroutine's stack at recovery
+}
+
+// Error implements error so recover()ed callers can treat the value
+// uniformly.
+func (p *WorkerPanic) Error() string {
+	label := p.Label
+	if label == "" {
+		label = fmt.Sprintf("input %d", p.Index)
+	}
+	return fmt.Sprintf("par: %s panicked: %v\n\nworker stack:\n%s", label, p.Value, p.Stack)
+}
+
+// panicKeeper collects worker panics and keeps the lowest-index one, so the
+// re-raised failure is deterministic regardless of worker scheduling.
+type panicKeeper struct {
+	mu sync.Mutex
+	wp *WorkerPanic
+}
+
+// run executes body(), recovering a panic into the keeper under index i.
+func (k *panicKeeper) run(i int, label func(int) string, body func()) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		stack := string(debug.Stack())
+		k.mu.Lock()
+		if k.wp == nil || i < k.wp.Index {
+			k.wp = &WorkerPanic{Index: i, Value: v, Stack: stack}
+			if label != nil {
+				k.wp.Label = label(i)
+			}
+		}
+		k.mu.Unlock()
+	}()
+	body()
+}
+
+// rethrow re-raises the kept panic, if any, on the caller's goroutine.
+func (k *panicKeeper) rethrow() {
+	if k.wp != nil {
+		panic(k.wp)
+	}
+}
+
+// FanOut runs body(i) for every i in [0, n) with at most workers bodies in
+// flight and returns once all have finished. Bodies communicate results
+// through index-addressed slots, so callers merge in input order — the
+// emit-in-input-order discipline that keeps output byte-identical at every
+// worker count. workers <= 1 (or n <= 1) runs inline on the caller's
+// goroutine.
+//
+// A panic inside a body is recovered on the worker, the remaining indices
+// still run, and after every worker has drained the lowest-index panic is
+// re-raised on the caller's goroutine as a *WorkerPanic. label (optional)
+// names the failing unit in that error.
+func FanOut(n, workers int, label func(int) string, body func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+
+	var pk panicKeeper
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				pk.run(i, label, func() { body(i) })
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	pk.rethrow()
+}
+
+// FanOutBlocks splits [0, n) into at most workers contiguous blocks and
+// runs body(lo, hi) concurrently, one goroutine per block. It is the
+// fan-out shape for large homogeneous inputs (one cheap body per server in
+// a fleet tick): the per-tick synchronisation cost is a handful of
+// goroutine handoffs instead of n channel operations, and the block
+// boundaries depend only on (n, workers), never on scheduling.
+//
+// Blocks are balanced to within one element: the first n%workers blocks get
+// one extra. Bodies must communicate only through index-addressed state, as
+// with FanOut; the caller merges per-index results in index order after the
+// barrier. workers <= 1 (or n <= 1) runs inline on the caller's goroutine.
+//
+// Panics follow FanOut's discipline, with WorkerPanic.Index holding the
+// panicking block's first index (the lowest-index block wins when several
+// panic). label (optional) receives that first index too.
+func FanOutBlocks(n, workers int, label func(int) string, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+
+	var pk panicKeeper
+	var wg sync.WaitGroup
+	size, extra := n/workers, n%workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + size
+		if w < extra {
+			hi++
+		}
+		blo, bhi := lo, hi // lo/hi mutate across iterations; capture this block's bounds
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pk.run(blo, label, func() { body(blo, bhi) })
+		}()
+		lo = hi
+	}
+	wg.Wait()
+	pk.rethrow()
+}

@@ -229,6 +229,13 @@ func (s *Server) VMs() []*VM {
 	return append([]*VM(nil), s.vms...)
 }
 
+// VMCount returns the number of VMs placed on the server without copying
+// the slice — the per-server occupancy read a fleet tick takes on every
+// host every tick.
+//
+//bolt:hotpath
+func (s *Server) VMCount() int { return len(s.vms) }
+
 // Lookup returns the VM with the given ID, or nil.
 //
 //bolt:hotpath

@@ -41,6 +41,20 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
 }
 
+// SplitN derives n independent generators from r by calling Split n times,
+// advancing r exactly n draws. It is the pre-split step of the repository's
+// parallelism discipline: a caller about to fan work out over a pool splits
+// one stream per unit *serially, in unit order, up front*, then hands
+// stream i to unit i — so the streams each unit consumes are identical at
+// every worker count and the merged output stays byte-identical.
+func (r *RNG) SplitN(n int) []*RNG {
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
 // Uint64 returns the next 64 uniformly random bits (xoshiro256**).
 //
 //bolt:hotpath

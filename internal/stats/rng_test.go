@@ -104,3 +104,24 @@ func TestPermIntoMatchesPerm(t *testing.T) {
 		}
 	}
 }
+
+// TestSplitNMatchesSerialSplits pins SplitN's contract: it is exactly n
+// serial Split calls, so converting a fan-out site from a split loop to
+// SplitN cannot move any downstream stream.
+func TestSplitNMatchesSerialSplits(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	streams := a.SplitN(5)
+	for i := 0; i < 5; i++ {
+		want := b.Split()
+		if *streams[i] != *want {
+			t.Fatalf("SplitN stream %d differs from the %d-th serial Split", i, i)
+		}
+	}
+	// The parents advanced identically too.
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("SplitN advanced the parent differently from n serial Splits")
+	}
+	if got := NewRNG(7).SplitN(0); len(got) != 0 {
+		t.Fatalf("SplitN(0) returned %d streams, want 0", len(got))
+	}
+}
