@@ -1,10 +1,12 @@
-// Command benchjson runs the repository's Go benchmarks and writes the
-// results as machine-readable JSON, so CI can archive the performance
-// trajectory (ns/op, B/op, allocs/op) per benchmark from PR to PR.
+// Command benchjson runs the repository's Go benchmarks — or any command
+// that emits Go-benchmark-format lines — and writes the results as
+// machine-readable JSON, so CI can archive the performance trajectory
+// (ns/op, B/op, allocs/op, and custom metrics) per benchmark from PR to PR.
 //
 // Usage:
 //
 //	benchjson [-bench regex] [-benchtime 2x] [-pkg ./...] [-out BENCH_hotpath.json] [-append]
+//	benchjson -exec [-out BENCH_serve.json] [-append] -- command [args...]
 //
 // -append merges the new results into an existing -out file (replacing
 // same-name benchmarks), so microbenchmarks can be recorded at a stable
@@ -12,10 +14,19 @@
 // benchmark name appearing twice — within one run, or surviving a merge —
 // is an error: the recorded trajectory keys on names.
 //
-// It shells out to `go test -run ^$ -bench <regex> -benchmem` and parses
-// the standard benchmark output lines, e.g.
+// By default it shells out to `go test -run ^$ -bench <regex> -benchmem`
+// and parses the standard benchmark output lines, e.g.
 //
 //	BenchmarkSimTick   20000   1513 ns/op   0 B/op   0 allocs/op
+//
+// With -exec it instead runs the command after "--" and parses its stdout
+// the same way. Value/unit pairs beyond the three standard ones — whether
+// from testing.B.ReportMetric or from a driver like cmd/boltload — are
+// captured into each result's "metrics" map keyed by unit, e.g.
+//
+//	BenchmarkBoltload/inproc/w2/b64/c16  1048576  1180 ns/op  846000 qps  41.0 p50-us
+//
+// yields metrics {"qps": 846000, "p50-us": 41.0}.
 package main
 
 import (
@@ -24,6 +35,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"strconv"
@@ -34,14 +46,16 @@ import (
 // Result is one parsed benchmark line. BenchTime records the -benchtime
 // the result was collected at, since an appended report may mix runs
 // (e.g. microbenchmarks at a stable iteration count, the full suite at a
-// small one).
+// small one); -exec results carry no benchtime. Metrics holds every
+// value/unit pair beyond the three standard ones, keyed by unit.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"b_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BenchTime   string  `json:"benchtime,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"b_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	BenchTime   string             `json:"benchtime,omitempty"`
 }
 
 // Report is the file benchjson writes.
@@ -51,7 +65,7 @@ type Report struct {
 	GoArch      string   `json:"goarch,omitempty"`
 	CPU         string   `json:"cpu,omitempty"`
 	Bench       string   `json:"bench"`
-	BenchTime   string   `json:"benchtime"`
+	BenchTime   string   `json:"benchtime,omitempty"`
 	Benchmarks  []Result `json:"benchmarks"`
 }
 
@@ -61,42 +75,42 @@ func main() {
 	pkg := flag.String("pkg", ".", "package pattern passed to go test")
 	out := flag.String("out", "BENCH_hotpath.json", "output JSON path")
 	timeout := flag.String("timeout", "30m", "value passed to go test -timeout")
+	execMode := flag.Bool("exec", false,
+		"run the command after -- instead of go test, parsing its stdout as benchmark lines")
 	appendOut := flag.Bool("append", false,
 		"merge results into an existing -out file instead of replacing it (same-name benchmarks are overwritten)")
 	flag.Parse()
 
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", *bench, "-benchmem", "-benchtime", *benchtime,
-		"-timeout", *timeout, *pkg)
+	var cmd *exec.Cmd
+	var benchLabel, benchTime string
+	if *execMode {
+		args := flag.Args()
+		if len(args) == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -exec needs a command after --")
+			os.Exit(2)
+		}
+		cmd = exec.Command(args[0], args[1:]...)
+		benchLabel = strings.Join(args, " ")
+	} else {
+		cmd = exec.Command("go", "test", "-run", "^$",
+			"-bench", *bench, "-benchmem", "-benchtime", *benchtime,
+			"-timeout", *timeout, *pkg)
+		benchLabel, benchTime = *bench, *benchtime
+	}
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
 	cmd.Stderr = os.Stderr
 	if err := cmd.Run(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: go test failed: %v\n%s", err, buf.String())
+		fmt.Fprintf(os.Stderr, "benchjson: %s failed: %v\n%s", cmd.Path, err, buf.String())
 		os.Exit(1)
 	}
 
-	report := Report{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		Bench:       *bench,
-		BenchTime:   *benchtime,
-	}
-	sc := bufio.NewScanner(&buf)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			report.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-		case strings.HasPrefix(line, "goarch:"):
-			report.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-		case strings.HasPrefix(line, "cpu:"):
-			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-		case strings.HasPrefix(line, "Benchmark"):
-			if r, ok := parseLine(line); ok {
-				r.BenchTime = *benchtime
-				report.Benchmarks = append(report.Benchmarks, r)
-			}
-		}
+	report := parseReport(&buf)
+	report.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	report.Bench = benchLabel
+	report.BenchTime = benchTime
+	for i := range report.Benchmarks {
+		report.Benchmarks[i].BenchTime = benchTime
 	}
 	if len(report.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines matched")
@@ -118,25 +132,12 @@ func main() {
 				fmt.Fprintf(os.Stderr, "benchjson: -append: parsing existing %s: %v\n", *out, err)
 				os.Exit(1)
 			}
-			fresh := make(map[string]bool, len(report.Benchmarks))
-			for _, r := range report.Benchmarks {
-				fresh[r.Name] = true
-			}
-			merged := make([]Result, 0, len(old.Benchmarks)+len(report.Benchmarks))
-			for _, r := range old.Benchmarks {
-				if !fresh[r.Name] {
-					merged = append(merged, r)
-				}
-			}
-			report.Benchmarks = append(merged, report.Benchmarks...)
-			report.Bench = old.Bench + "|" + *bench
-			report.BenchTime = old.BenchTime + "," + *benchtime
-			// Guard the merged set too: an existing file written before
-			// duplicates were rejected may already carry one.
-			if dup := firstDuplicate(report.Benchmarks); dup != "" {
-				fmt.Fprintf(os.Stderr, "benchjson: -append: benchmark %q would appear more than once in %s; regenerate the file without -append\n", dup, *out)
+			merged, err := mergeReports(old, report)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: -append: %v; regenerate %s without -append\n", err, *out)
 				os.Exit(1)
 			}
+			report = merged
 		}
 	}
 
@@ -151,6 +152,56 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+// parseReport scans benchmark-format output: goos/goarch/cpu headers and
+// Benchmark lines. GeneratedAt, Bench and BenchTime are the caller's to
+// fill.
+func parseReport(r io.Reader) Report {
+	var report Report
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			report.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			report.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseLine(line); ok {
+				report.Benchmarks = append(report.Benchmarks, res)
+			}
+		}
+	}
+	return report
+}
+
+// mergeReports merges fresh into old, -append style: fresh results replace
+// same-name old ones, everything else survives, and the merged set must
+// still be duplicate-free (an existing file written before duplicates were
+// rejected may already carry one).
+func mergeReports(old, fresh Report) (Report, error) {
+	names := make(map[string]bool, len(fresh.Benchmarks))
+	for _, r := range fresh.Benchmarks {
+		names[r.Name] = true
+	}
+	merged := make([]Result, 0, len(old.Benchmarks)+len(fresh.Benchmarks))
+	for _, r := range old.Benchmarks {
+		if !names[r.Name] {
+			merged = append(merged, r)
+		}
+	}
+	fresh.Benchmarks = append(merged, fresh.Benchmarks...)
+	fresh.Bench = old.Bench + "|" + fresh.Bench
+	if old.BenchTime != "" || fresh.BenchTime != "" {
+		fresh.BenchTime = old.BenchTime + "," + fresh.BenchTime
+	}
+	if dup := firstDuplicate(fresh.Benchmarks); dup != "" {
+		return Report{}, fmt.Errorf("benchmark %q would appear more than once", dup)
+	}
+	return fresh, nil
 }
 
 // firstDuplicate returns the first benchmark name that appears more than
@@ -168,7 +219,10 @@ func firstDuplicate(results []Result) string {
 
 // parseLine parses one `BenchmarkName-N  iters  X ns/op  Y B/op  Z allocs/op`
 // line. The -cpu suffix is kept out of the name so results are comparable
-// across machines.
+// across machines. Value/unit pairs beyond the three standard ones are
+// collected into Metrics keyed by unit; a unit appearing twice keeps the
+// last value, matching how `go test` itself reports repeated ReportMetric
+// calls.
 func parseLine(line string) (Result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
@@ -194,6 +248,15 @@ func parseLine(line string) (Result, bool) {
 			r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
 		case "allocs/op":
 			r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		default:
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
 		}
 	}
 	return r, true

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLineStandard(t *testing.T) {
+	r, ok := parseLine("BenchmarkSimTick-8   20000   1513 ns/op   24 B/op   3 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Name != "BenchmarkSimTick" {
+		t.Fatalf("name = %q, want cpu suffix stripped", r.Name)
+	}
+	if r.Iterations != 20000 || r.NsPerOp != 1513 || r.BytesPerOp != 24 || r.AllocsPerOp != 3 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if len(r.Metrics) != 0 {
+		t.Fatalf("standard units leaked into metrics: %v", r.Metrics)
+	}
+}
+
+func TestParseLineCustomMetrics(t *testing.T) {
+	r, ok := parseLine("BenchmarkBoltload/inproc/w2/b64/c16\t 1048576\t    1180 ns/op\t  846000 qps\t    41.0 p50-us\t    55.5 p90-us\t    79.8 p99-us\t   302.2 max-us\t    12 shed")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Name != "BenchmarkBoltload/inproc/w2/b64/c16" {
+		t.Fatalf("name = %q", r.Name)
+	}
+	if r.Iterations != 1048576 || r.NsPerOp != 1180 {
+		t.Fatalf("parsed %+v", r)
+	}
+	want := map[string]float64{
+		"qps": 846000, "p50-us": 41.0, "p90-us": 55.5,
+		"p99-us": 79.8, "max-us": 302.2, "shed": 12,
+	}
+	if len(r.Metrics) != len(want) {
+		t.Fatalf("metrics = %v, want %v", r.Metrics, want)
+	}
+	for k, v := range want {
+		if r.Metrics[k] != v {
+			t.Fatalf("metrics[%q] = %v, want %v", k, r.Metrics[k], v)
+		}
+	}
+}
+
+func TestParseLineSubBenchmarkKeepsSlashes(t *testing.T) {
+	// Only a trailing -N (the GOMAXPROCS suffix) is stripped; a -N inside a
+	// sub-benchmark path is part of the name.
+	r, ok := parseLine("BenchmarkDetectBatch/size-16-8  100  34000 ns/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Name != "BenchmarkDetectBatch/size-16" {
+		t.Fatalf("name = %q, want BenchmarkDetectBatch/size-16", r.Name)
+	}
+}
+
+func TestParseLineRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",                  // too few fields
+		"BenchmarkX abc 1 ns/op junk", // non-numeric iterations
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("malformed line %q parsed", line)
+		}
+	}
+	// A non-numeric custom metric value is skipped, not fatal.
+	r, ok := parseLine("BenchmarkX 10 5 ns/op abc qps 7 shed")
+	if !ok || len(r.Metrics) != 1 || r.Metrics["shed"] != 7 {
+		t.Fatalf("parsed %+v ok=%v, want shed=7 only", r, ok)
+	}
+}
+
+func TestParseReport(t *testing.T) {
+	out := strings.NewReader(strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: bolt/cmd/boltload",
+		"cpu: Imaginary CPU @ 2.0GHz",
+		"BenchmarkBoltload/inproc/w1/b1/c4\t2000\t43184 ns/op\t23157 qps",
+		"BenchmarkBoltload/inproc/w1/b64/c4\t2000\t40605 ns/op\t24628 qps",
+		"PASS",
+	}, "\n"))
+	rep := parseReport(out)
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.CPU != "Imaginary CPU @ 2.0GHz" {
+		t.Fatalf("headers: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	if rep.Benchmarks[1].Metrics["qps"] != 24628 {
+		t.Fatalf("benchmarks[1] = %+v", rep.Benchmarks[1])
+	}
+}
+
+func TestMergeReportsReplacesAndPreserves(t *testing.T) {
+	old := Report{
+		Bench:     "BenchmarkA|BenchmarkB",
+		BenchTime: "200x",
+		Benchmarks: []Result{
+			{Name: "BenchmarkA", NsPerOp: 1},
+			{Name: "BenchmarkB", NsPerOp: 2, Metrics: map[string]float64{"qps": 5}},
+		},
+	}
+	fresh := Report{
+		Bench:      "BenchmarkB",
+		BenchTime:  "3x",
+		Benchmarks: []Result{{Name: "BenchmarkB", NsPerOp: 9}},
+	}
+	merged, err := mergeReports(old, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Benchmarks) != 2 {
+		t.Fatalf("merged %d benchmarks, want 2", len(merged.Benchmarks))
+	}
+	if merged.Benchmarks[0].Name != "BenchmarkA" || merged.Benchmarks[1].NsPerOp != 9 {
+		t.Fatalf("merged = %+v", merged.Benchmarks)
+	}
+	if merged.Bench != "BenchmarkA|BenchmarkB|BenchmarkB" || merged.BenchTime != "200x,3x" {
+		t.Fatalf("labels: bench=%q benchtime=%q", merged.Bench, merged.BenchTime)
+	}
+}
+
+func TestMergeReportsRejectsDuplicates(t *testing.T) {
+	old := Report{Benchmarks: []Result{
+		{Name: "BenchmarkA"}, {Name: "BenchmarkA"},
+	}}
+	fresh := Report{Benchmarks: []Result{{Name: "BenchmarkB"}}}
+	if _, err := mergeReports(old, fresh); err == nil {
+		t.Fatal("a pre-existing duplicate survived the merge")
+	}
+}
+
+func TestFirstDuplicate(t *testing.T) {
+	if d := firstDuplicate([]Result{{Name: "A"}, {Name: "B"}}); d != "" {
+		t.Fatalf("false duplicate %q", d)
+	}
+	if d := firstDuplicate([]Result{{Name: "A"}, {Name: "B"}, {Name: "A"}}); d != "A" {
+		t.Fatalf("duplicate = %q, want A", d)
+	}
+}

@@ -1,0 +1,125 @@
+// Command boltd runs the detection service as a long-lived daemon: it
+// trains a detector, then answers newline-delimited JSON detection queries
+// over TCP (see internal/serve's wire protocol), batching concurrent
+// requests into fused DetectBatch passes and answering from an immutable
+// RCU-style detector snapshot.
+//
+// Usage:
+//
+//	boltd [-addr host:port] [-seed N] [-workers N] [-batch N] [-queue N]
+//	      [-linger dur] [-faultrate R] [-faultseed N] [-retrain dur]
+//
+// -workers, -batch, -queue and -linger are the serving-plane knobs
+// (internal/serve.Config); -faultrate enables the request-level fault plane
+// on live traffic, drawing from -faultseed. With -retrain > 0 the daemon
+// periodically retrains in the background on a reseeded training set and
+// swaps the new detector in atomically — in-flight batches finish on the
+// snapshot they loaded, the next batch sees the new generation. SIGINT or
+// SIGTERM stops accepting connections, drains the queue, and prints the
+// serving counters to stderr.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bolt/internal/core"
+	"bolt/internal/fault"
+	"bolt/internal/serve"
+	"bolt/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:9412", "listen address")
+	seed := flag.Uint64("seed", 42, "training-set seed for the initial detector")
+	workers := flag.Int("workers", 1, "batch workers pulling from the shared queue")
+	batch := flag.Int("batch", 64, "max requests fused into one DetectBatch pass")
+	queue := flag.Int("queue", 0, "request queue depth (0 = 4x batch); a full queue sheds with ErrBusy")
+	linger := flag.Duration("linger", 0, "how long a non-full batch waits for stragglers")
+	faultrate := flag.Float64("faultrate", 0, "request-level fault intensity in [0,1] (0 = no injection)")
+	faultseed := flag.Uint64("faultseed", 1, "fault-plane RNG seed")
+	retrain := flag.Duration("retrain", 0, "background retrain+swap period (0 = never)")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "boltd: training detector (seed %d)...\n", *seed)
+	t0 := time.Now()
+	det := core.TrainCached(workload.TrainingSpecs(*seed), core.Config{})
+	fmt.Fprintf(os.Stderr, "boltd: trained in %v\n", time.Since(t0).Round(time.Millisecond))
+
+	srv := serve.New(det, serve.Config{
+		Workers:    *workers,
+		MaxBatch:   *batch,
+		QueueDepth: *queue,
+		Linger:     *linger,
+		Fault:      fault.Config{Rate: *faultrate},
+		FaultSeed:  *faultseed,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boltd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "boltd: serving on %s (workers=%d batch=%d linger=%v)\n",
+		l.Addr(), *workers, *batch, *linger)
+
+	// Background retrain loop: train off the serving path, swap atomically.
+	// Each generation reseeds the training set so the swap is observable.
+	stopRetrain := make(chan struct{})
+	retrainDone := make(chan struct{})
+	go func() {
+		defer close(retrainDone)
+		if *retrain <= 0 {
+			return
+		}
+		ticker := time.NewTicker(*retrain)
+		defer ticker.Stop()
+		for gen := uint64(1); ; gen++ {
+			select {
+			case <-stopRetrain:
+				return
+			case <-ticker.C:
+			}
+			next := core.TrainCached(workload.TrainingSpecs(*seed+gen), core.Config{})
+			v := srv.Swap(next)
+			fmt.Fprintf(os.Stderr, "boltd: swapped in snapshot %d (training seed %d)\n", v, *seed+gen)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve.ServeListener(l, srv) }()
+
+	code := 0
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "boltd: %v, draining\n", s)
+		l.Close()
+		<-serveErr
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, net.ErrClosed) {
+			fmt.Fprintf(os.Stderr, "boltd: accept: %v\n", err)
+			code = 1
+		}
+	}
+	close(stopRetrain)
+	<-retrainDone
+	srv.Close()
+
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr,
+		"boltd: served=%d shed=%d rejected=%d batches=%d maxbatch=%d dropped=%d corrupted=%d swaps=%d\n",
+		st.Served, st.Shed, st.Rejected, st.Batches, st.MaxBatch, st.Dropped, st.Corrupted, st.Swaps)
+	return code
+}

@@ -200,6 +200,70 @@ func (d *Detector) Detect(s *sim.Server, adv *probe.Adversary, start sim.Tick, m
 // detections degrade to UnknownLabel.
 func (d *Detector) MinConfidence() float64 { return d.cfg.MinConfidence }
 
+// ProfileDetection is the outcome of one profile-only detection query: the
+// recommender's ranked answer for a sparse observed pressure vector, plus
+// the same graceful-degradation confidence scoring a full episode gets.
+// This is the unit of work the detection service (internal/serve) answers;
+// it skips the probing loop entirely — the caller already holds an observed
+// profile — so it is a pure function of (detector, observed, known).
+type ProfileDetection struct {
+	// Result is the recommender output: completed pressure plus the ranked
+	// similarity distribution.
+	Result *mining.Result
+	// Confidence scores the observation's evidence in [0, 1], exactly as
+	// Detection.Confidence does for an episode.
+	Confidence float64
+	// minConfidence is the detector's floor, captured so Label/Unknown are
+	// self-contained on the returned value.
+	minConfidence float64
+}
+
+// Unknown reports whether the query degraded below the confidence floor
+// (same rule as Detection.Unknown).
+func (pd *ProfileDetection) Unknown() bool {
+	return pd.Confidence < pd.minConfidence || !pd.Result.Confident()
+}
+
+// Label returns the best-match label, or UnknownLabel when the evidence is
+// too thin to support a guess (same rule as Detection.Label).
+func (pd *ProfileDetection) Label() string {
+	if pd.Unknown() {
+		return UnknownLabel
+	}
+	return pd.Result.Best().Label
+}
+
+// DetectProfile answers one profile-only query: completion of the missing
+// resources, similarity ranking, and the graceful-degradation confidence
+// score. known[j] marks the directly measured entries of observed. This is
+// the solo reference path the service's batched answers are bit-exact
+// against (TestDetectProfileBatchBitExact and the serve parity tests).
+func (d *Detector) DetectProfile(observed []float64, known []bool) ProfileDetection {
+	return d.profileDetection(d.Rec.Detect(observed, known), known)
+}
+
+// DetectProfileBatch answers a batch of profile-only queries sharing one
+// known mask in a single fused fold-in pass (mining.DetectBatch). Row i of
+// the result is bit-identical to DetectProfile(observed[i], known): the
+// batched completion is bit-exact per row, and the confidence score depends
+// only on the shared mask.
+func (d *Detector) DetectProfileBatch(observed [][]float64, known []bool) []ProfileDetection {
+	results := d.Rec.DetectBatch(observed, known)
+	out := make([]ProfileDetection, len(results))
+	for i, r := range results {
+		out[i] = d.profileDetection(r, known)
+	}
+	return out
+}
+
+func (d *Detector) profileDetection(res *mining.Result, known []bool) ProfileDetection {
+	return ProfileDetection{
+		Result:        res,
+		Confidence:    d.confidence(known),
+		minConfidence: d.cfg.MinConfidence,
+	}
+}
+
 // confidence scores how much evidence a combined observation mask carries:
 // the fraction of the recommender's Eq. 1 weight mass (σₖ·|V[j][k]|)
 // sitting on directly observed resources, blended with the raw

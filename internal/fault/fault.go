@@ -219,6 +219,41 @@ func (p *Plane) Perturb(observer *sim.VM, r sim.Resource, t sim.Tick, v float64)
 	return stats.Clamp(v+p.rng.Range(-p.cfg.SpikeMax, p.cfg.SpikeMax), 0, 100)
 }
 
+// FaultProfile injects the two request-level fault classes into an already
+// assembled observed profile — the shape live detection-service traffic has
+// (internal/serve), where the probing loop that the ramp-level classes hook
+// is on the client's side of the wire. Each known entry independently
+// suffers dropout (the measurement is lost: known[j] cleared, the value
+// zeroed so no stale reading leaks into a "sparse" vector) or, surviving
+// that, per-reading corruption via Perturb. Both slices are mutated in
+// place; callers serving shared request memory must pass copies. It returns
+// how many entries were dropped and how many corrupted.
+//
+// Draw order is fixed (ascending j, dropout before corruption), so a
+// single-owner plane replays bit-identically for the same request sequence.
+func (p *Plane) FaultProfile(observed []float64, known []bool) (dropped, corrupted int) {
+	if p == nil {
+		return 0, 0
+	}
+	for j := range known {
+		if !known[j] {
+			continue
+		}
+		r := sim.Resource(j)
+		if p.DropMeasurement(r) {
+			known[j] = false
+			observed[j] = 0
+			dropped++
+			continue
+		}
+		if v := p.Perturb(nil, r, 0, observed[j]); v != observed[j] {
+			observed[j] = v
+			corrupted++
+		}
+	}
+	return dropped, corrupted
+}
+
 // MaybeChurn runs the victim-churn class at a ramp boundary. A co-resident
 // held removed by a previous boundary is re-placed first, then with the
 // class's per-boundary probability one co-resident of adv on s (never adv

@@ -20,6 +20,7 @@ var deterministicPkgs = []string{
 	"bolt/internal/fleet",
 	"bolt/internal/par",
 	"bolt/internal/cluster",
+	"bolt/internal/serve",
 }
 
 // isDeterministicPkg reports whether path is one of the deterministic

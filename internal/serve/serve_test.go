@@ -1,0 +1,339 @@
+package serve_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"bolt/internal/core"
+	"bolt/internal/fault"
+	"bolt/internal/serve"
+	"bolt/internal/stats"
+	"bolt/internal/workload"
+)
+
+const testSeed = 42
+
+func testDetector(tb testing.TB) *core.Detector {
+	tb.Helper()
+	return core.TrainCached(workload.TrainingSpecs(testSeed), core.Config{})
+}
+
+// testMasks are the observation shapes live traffic mixes: the canonical
+// LLC/MemBW/NetBW probe mask, two partial variants, a full observation,
+// and an empty mask (pure-completion query, confidence 0).
+func testMasks(n int) [][]bool {
+	masks := make([][]bool, 5)
+	for i := range masks {
+		masks[i] = make([]bool, n)
+	}
+	masks[0][3], masks[0][5], masks[0][7] = true, true, true // LLC, MemBW, NetBW
+	masks[1][3], masks[1][5] = true, true
+	masks[2][6], masks[2][7], masks[2][9] = true, true, true
+	for j := range masks[3] {
+		masks[3][j] = true
+	}
+	return masks
+}
+
+// genRequest deterministically builds request k for one client stream.
+func genRequest(rng *stats.RNG, masks [][]bool, n int) ([]float64, []bool) {
+	mask := masks[rng.Intn(len(masks))]
+	obs := make([]float64, n)
+	for j := range obs {
+		if mask[j] {
+			obs[j] = stats.Clamp(rng.Range(0, 100), 0, 100)
+		}
+	}
+	return obs, mask
+}
+
+// TestServeParityAcrossConfigs is the service-boundary bit-exactness test:
+// at every worker count × batch size × linger setting, every served answer
+// must be bit-identical to the solo core.Detector.DetectProfile path —
+// completed pressure, full ranked similarity distribution, confidence, and
+// label.
+func TestServeParityAcrossConfigs(t *testing.T) {
+	det := testDetector(t)
+	n := det.Rec.ResourceCount()
+	masks := testMasks(n)
+	for _, workers := range []int{1, 2, 4} {
+		for _, batch := range []int{1, 4, 64} {
+			for _, linger := range []time.Duration{0, 200 * time.Microsecond} {
+				srv := serve.New(det, serve.Config{
+					Workers: workers, MaxBatch: batch, Linger: linger,
+					QueueDepth: 512,
+				})
+				const clients, perClient = 8, 16
+				rngs := stats.NewRNG(7).SplitN(clients)
+				var wg sync.WaitGroup
+				errc := make(chan error, clients)
+				for ci := 0; ci < clients; ci++ {
+					wg.Add(1)
+					go func(ci int) {
+						defer wg.Done()
+						for k := 0; k < perClient; k++ {
+							obs, known := genRequest(rngs[ci], masks, n)
+							resp, err := srv.Detect(obs, known)
+							if err != nil {
+								errc <- err
+								return
+							}
+							want := det.DetectProfile(obs, known)
+							if !profileEqual(resp.ProfileDetection, want) {
+								t.Errorf("workers=%d batch=%d linger=%v: served answer diverges from solo DetectProfile",
+									workers, batch, linger)
+								return
+							}
+							if resp.Snapshot != 1 {
+								t.Errorf("snapshot version = %d, want 1", resp.Snapshot)
+							}
+							if resp.Batch < 1 || resp.Batch > batch {
+								t.Errorf("batch size %d outside [1, %d]", resp.Batch, batch)
+							}
+						}
+					}(ci)
+				}
+				wg.Wait()
+				close(errc)
+				for err := range errc {
+					t.Fatalf("workers=%d batch=%d linger=%v: %v", workers, batch, linger, err)
+				}
+				st := srv.Stats()
+				if st.Served != clients*perClient {
+					t.Fatalf("served = %d, want %d", st.Served, clients*perClient)
+				}
+				if st.MaxBatch > uint64(batch) {
+					t.Fatalf("max batch %d exceeds configured %d", st.MaxBatch, batch)
+				}
+				srv.Close()
+			}
+		}
+	}
+}
+
+// profileEqual compares two profile detections bit for bit.
+func profileEqual(got, want core.ProfileDetection) bool {
+	if got.Confidence != want.Confidence || got.Label() != want.Label() {
+		return false
+	}
+	if len(got.Result.Pressure) != len(want.Result.Pressure) ||
+		len(got.Result.Matches) != len(want.Result.Matches) {
+		return false
+	}
+	for j := range want.Result.Pressure {
+		if got.Result.Pressure[j] != want.Result.Pressure[j] {
+			return false
+		}
+	}
+	for m := range want.Result.Matches {
+		if got.Result.Matches[m] != want.Result.Matches[m] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestServeSwapRCU drives traffic while the detector is swapped mid-stream.
+// Every response must bit-match the solo path of the detector generation it
+// reports having answered from — in-flight batches keep their snapshot, new
+// batches see the new one.
+func TestServeSwapRCU(t *testing.T) {
+	detA := testDetector(t)
+	detB := core.TrainCached(workload.TrainingSpecs(testSeed+1), core.Config{})
+	n := detA.Rec.ResourceCount()
+	masks := testMasks(n)
+	srv := serve.New(detA, serve.Config{Workers: 2, MaxBatch: 8, QueueDepth: 64})
+	defer srv.Close()
+
+	byVersion := map[uint64]*core.Detector{1: detA, 2: detB}
+	var wg sync.WaitGroup
+	const clients, perClient = 4, 64
+	rngs := stats.NewRNG(11).SplitN(clients)
+	swapped := make(chan struct{})
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				if ci == 0 && k == perClient/2 {
+					if v := srv.Swap(detB); v != 2 {
+						t.Errorf("Swap returned version %d, want 2", v)
+					}
+					close(swapped)
+				}
+				obs, known := genRequest(rngs[ci], masks, n)
+				resp, err := srv.Detect(obs, known)
+				if err != nil {
+					t.Errorf("client %d: %v", ci, err)
+					return
+				}
+				det := byVersion[resp.Snapshot]
+				if det == nil {
+					t.Errorf("response reports unknown snapshot %d", resp.Snapshot)
+					return
+				}
+				if !profileEqual(resp.ProfileDetection, det.DetectProfile(obs, known)) {
+					t.Errorf("answer diverges from the snapshot-%d solo path", resp.Snapshot)
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	<-swapped
+	if _, v := srv.Snapshot(); v != 2 {
+		t.Fatalf("final snapshot version = %d, want 2", v)
+	}
+	if st := srv.Stats(); st.Swaps != 1 {
+		t.Fatalf("swaps = %d, want 1", st.Swaps)
+	}
+	// Post-swap requests must answer from the new snapshot.
+	obs, known := genRequest(stats.NewRNG(13), masks, n)
+	resp, err := srv.Detect(obs, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Snapshot != 2 {
+		t.Fatalf("post-swap snapshot = %d, want 2", resp.Snapshot)
+	}
+}
+
+// TestServeSwapNil: a nil detector is a programming error, not a runtime
+// condition — Swap panics rather than serving from nothing.
+func TestServeSwapNil(t *testing.T) {
+	srv := serve.New(testDetector(t), serve.Config{})
+	defer srv.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Swap(nil) did not panic")
+		}
+	}()
+	srv.Swap(nil)
+}
+
+// TestServeFaultInjection runs live traffic through a rate-1 dropout plane:
+// every known entry is dropped, so answers degrade exactly like the solo
+// path on an empty mask, responses report the injection, and the caller's
+// request memory is never mutated.
+func TestServeFaultInjection(t *testing.T) {
+	det := testDetector(t)
+	n := det.Rec.ResourceCount()
+	srv := serve.New(det, serve.Config{
+		Workers: 1, MaxBatch: 1,
+		Fault:     fault.Config{Rate: 1, DisableCorruption: true, DisableChurn: true, DisableProbeFailure: true},
+		FaultSeed: 9,
+	})
+	defer srv.Close()
+
+	obs := make([]float64, n)
+	known := make([]bool, n)
+	obs[3], known[3] = 70, true
+	obs[5], known[5] = 55, true
+	obsCopy := append([]float64(nil), obs...)
+	knownCopy := append([]bool(nil), known...)
+
+	resp, err := srv.Detect(obs, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Dropped != 2 {
+		t.Fatalf("dropped = %d, want 2 (rate-1 dropout over 2 known entries)", resp.Dropped)
+	}
+	// The faulted request is an empty mask; the answer must equal the solo
+	// path on that degraded observation.
+	empty := make([]float64, n)
+	noneKnown := make([]bool, n)
+	if !profileEqual(resp.ProfileDetection, det.DetectProfile(empty, noneKnown)) {
+		t.Fatal("faulted answer diverges from the solo empty-mask path")
+	}
+	if resp.Label() != core.UnknownLabel {
+		t.Fatalf("rate-1 dropout label = %q, want %q", resp.Label(), core.UnknownLabel)
+	}
+	for j := range obs {
+		if obs[j] != obsCopy[j] || known[j] != knownCopy[j] {
+			t.Fatal("server mutated the caller's request slices")
+		}
+	}
+	if st := srv.Stats(); st.Dropped != 2 {
+		t.Fatalf("stats.Dropped = %d, want 2", st.Dropped)
+	}
+}
+
+// TestServeBadRequest covers the validation path: mismatched lengths and
+// non-finite or out-of-range observed values are rejected without touching
+// the queue.
+func TestServeBadRequest(t *testing.T) {
+	det := testDetector(t)
+	n := det.Rec.ResourceCount()
+	srv := serve.New(det, serve.Config{})
+	defer srv.Close()
+
+	if _, err := srv.Detect(make([]float64, n-1), make([]bool, n)); !errors.Is(err, serve.ErrBadRequest) {
+		t.Fatalf("short observed: err = %v, want ErrBadRequest", err)
+	}
+	obs := make([]float64, n)
+	known := make([]bool, n)
+	known[0] = true
+	for _, bad := range []float64{-1, 101, nan(), inf()} {
+		obs[0] = bad
+		if _, err := srv.Detect(obs, known); !errors.Is(err, serve.ErrBadRequest) {
+			t.Fatalf("observed[0]=%v: err = %v, want ErrBadRequest", bad, err)
+		}
+	}
+	// The same values on an unknown entry are ignored, not validated.
+	known[0] = false
+	obs[0] = inf()
+	if _, err := srv.Detect(obs, known); err != nil {
+		t.Fatalf("unknown entry should not be validated: %v", err)
+	}
+	if st := srv.Stats(); st.Rejected != 5 {
+		t.Fatalf("rejected = %d, want 5", st.Rejected)
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+func inf() float64 { z := 0.0; return 1 / z }
+
+// TestServeClose: close with traffic in flight answers everything already
+// queued; a Detect after Close fails with ErrClosed; Close is idempotent.
+func TestServeClose(t *testing.T) {
+	det := testDetector(t)
+	n := det.Rec.ResourceCount()
+	masks := testMasks(n)
+	srv := serve.New(det, serve.Config{Workers: 2, MaxBatch: 4, QueueDepth: 128})
+	var wg sync.WaitGroup
+	rngs := stats.NewRNG(21).SplitN(4)
+	var closedErrs, served int
+	var mu sync.Mutex
+	for ci := 0; ci < 4; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			for k := 0; k < 32; k++ {
+				obs, known := genRequest(rngs[ci], masks, n)
+				_, err := srv.Detect(obs, known)
+				mu.Lock()
+				switch {
+				case err == nil:
+					served++
+				case errors.Is(err, serve.ErrClosed):
+					closedErrs++
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+				mu.Unlock()
+			}
+		}(ci)
+	}
+	srv.Close()
+	wg.Wait()
+	srv.Close() // idempotent
+	if _, err := srv.Detect(make([]float64, n), make([]bool, n)); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("Detect after Close: err = %v, want ErrClosed", err)
+	}
+	if served+closedErrs != 4*32 {
+		t.Fatalf("served %d + closed %d != %d", served, closedErrs, 4*32)
+	}
+}

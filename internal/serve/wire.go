@@ -1,0 +1,160 @@
+// Wire protocol: newline-delimited JSON over a stream socket, one request
+// per line, one response per line, answered in request order per
+// connection. Server-side batching happens across connections (and across
+// the queue generally), so a fleet of synchronous clients still fills fused
+// DetectBatch passes. JSON encodes float64 with the shortest representation
+// that round-trips exactly, so the bit-exactness contract survives the
+// wire: a pressure or similarity value decoded by the client is the same
+// float the detector produced.
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+)
+
+// WireRequest is one detection query on the wire. ID is echoed back
+// verbatim so clients can correlate.
+type WireRequest struct {
+	ID       uint64    `json:"id"`
+	Observed []float64 `json:"observed"`
+	Known    []bool    `json:"known"`
+}
+
+// WireResponse is one answer on the wire: the graceful-degradation label,
+// the completed pressure vector, the best match, and the serving metadata.
+// Error carries the sentinel text of ErrBusy/ErrClosed or the validation
+// detail; all other fields are zero when it is set.
+type WireResponse struct {
+	ID         uint64    `json:"id"`
+	Label      string    `json:"label,omitempty"`
+	Confidence float64   `json:"confidence,omitempty"`
+	Best       string    `json:"best,omitempty"`
+	Similarity float64   `json:"similarity,omitempty"`
+	Pressure   []float64 `json:"pressure,omitempty"`
+	Snapshot   uint64    `json:"snapshot,omitempty"`
+	Batch      int       `json:"batch,omitempty"`
+	Dropped    int       `json:"dropped,omitempty"`
+	Corrupted  int       `json:"corrupted,omitempty"`
+	Error      string    `json:"error,omitempty"`
+}
+
+// Busy reports whether the response is the load-shedding error (retryable).
+func (wr *WireResponse) Busy() bool { return wr.Error == ErrBusy.Error() }
+
+// wireResponse flattens a served Response for the wire.
+func wireResponse(id uint64, resp Response) WireResponse {
+	best := resp.Result.Best()
+	return WireResponse{
+		ID:         id,
+		Label:      resp.Label(),
+		Confidence: resp.Confidence,
+		Best:       best.Label,
+		Similarity: best.Similarity,
+		Pressure:   resp.Result.Pressure,
+		Snapshot:   resp.Snapshot,
+		Batch:      resp.Batch,
+		Dropped:    resp.Dropped,
+		Corrupted:  resp.Corrupted,
+	}
+}
+
+// ServeListener accepts connections on l and serves each with handleConn
+// until Accept fails (closing the listener is the shutdown signal). It
+// returns Accept's error; callers that closed the listener deliberately
+// treat it as a clean exit via errors.Is(err, net.ErrClosed).
+func ServeListener(l net.Listener, s *Server) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go handleConn(conn, s)
+	}
+}
+
+// handleConn serves one connection synchronously: decode a request, answer
+// it, encode the response. A decode error (malformed JSON, EOF) drops the
+// connection; a request error (busy, bad request) is reported in-band so
+// the client can retry without reconnecting.
+func handleConn(conn net.Conn, s *Server) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	w := bufio.NewWriter(conn)
+	enc := json.NewEncoder(w)
+	for {
+		var req WireRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var wr WireResponse
+		resp, err := s.Detect(req.Observed, req.Known)
+		if err != nil {
+			wr = WireResponse{ID: req.ID, Error: err.Error()}
+		} else {
+			wr = wireResponse(req.ID, resp)
+		}
+		if err := enc.Encode(&wr); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a synchronous wire client: one in-flight request per Client.
+// Use one Client per driving goroutine.
+type Client struct {
+	conn net.Conn
+	dec  *json.Decoder
+	w    *bufio.Writer
+	enc  *json.Encoder
+	req  WireRequest
+	id   uint64
+}
+
+// Dial connects a Client to a boltd-style server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		w:    bufio.NewWriter(conn),
+	}
+	c.enc = json.NewEncoder(c.w)
+	return c, nil
+}
+
+// Detect sends one query and blocks for its answer. A response whose Error
+// field is set is returned with a nil error — in-band errors (busy, bad
+// request) are the client's to handle; a non-nil error means the
+// connection itself failed.
+func (c *Client) Detect(observed []float64, known []bool) (WireResponse, error) {
+	c.id++
+	c.req.ID = c.id
+	c.req.Observed = observed
+	c.req.Known = known
+	if err := c.enc.Encode(&c.req); err != nil {
+		return WireResponse{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return WireResponse{}, err
+	}
+	var wr WireResponse
+	if err := c.dec.Decode(&wr); err != nil {
+		return WireResponse{}, err
+	}
+	if wr.ID != c.id {
+		return WireResponse{}, errors.New("serve: response id mismatch")
+	}
+	return wr, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
