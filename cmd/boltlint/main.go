@@ -1,17 +1,33 @@
-// Command boltlint runs the repository's determinism, RNG, and hot-path
-// analyzers over the given packages and exits non-zero on any diagnostic.
+// Command boltlint runs the repository's determinism, RNG, hot-path, and
+// concurrency-contract analyzers over the given packages and exits non-zero
+// on any diagnostic.
 //
 // Usage:
 //
 //	go run ./cmd/boltlint ./...
 //	go run ./cmd/boltlint -analyzers detrand,hotalloc ./internal/sim
+//	go run ./cmd/boltlint -json ./... | jq .
+//
+// Exit codes: 0 when the packages are clean, 1 when diagnostics were
+// reported, 2 on usage or load errors (unknown analyzer, packages that do
+// not build). CI keys on this split: 1 means "the code violates a
+// contract", 2 means "the lint run itself is broken". To observe the
+// split, invoke a built binary — `go run` collapses every non-zero child
+// exit to 1.
+//
+// With -json the diagnostics are written to stdout as one JSON array of
+// {file, line, col, analyzer, message} objects (an empty array when clean)
+// for machine consumption — the CI job turns them into GitHub annotations.
+// The human-readable summary still goes to stderr.
 //
 // Suppress a finding with //bolt:nolint <analyzer> -- <reason> (the reason
-// is mandatory); see internal/lint and the "Determinism contract" section
-// of DESIGN.md for the contracts each analyzer enforces.
+// is mandatory; a suppression that stops matching any diagnostic is itself
+// reported as stale); see internal/lint and the "Determinism contract"
+// section of DESIGN.md for the contracts each analyzer enforces.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,16 +36,36 @@ import (
 	"bolt/internal/lint"
 )
 
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	asJSON := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	cacheDir := flag.String("summary-cache", "", "summary cache directory ('off' disables; default: user cache dir)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: boltlint [-analyzers a,b] [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: boltlint [-analyzers a,b] [-json] [packages]\n\nanalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-20s %s\n", a.Name, a.Doc)
 		}
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	switch *cacheDir {
+	case "":
+		// keep the default
+	case "off":
+		lint.SetSummaryCacheDir("")
+	default:
+		lint.SetSummaryCacheDir(*cacheDir)
+	}
 
 	analyzers := lint.All()
 	if *names != "" {
@@ -51,8 +87,27 @@ func main() {
 	}
 
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Position.Filename,
+				Line:     d.Position.Line,
+				Col:      d.Position.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "boltlint: encoding: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "boltlint: %d diagnostic(s)\n", len(diags))

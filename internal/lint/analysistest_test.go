@@ -65,6 +65,13 @@ var wantRe = regexp.MustCompile("`([^`]+)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
 func runAnalysisTest(t *testing.T, a *Analyzer, pkgPath, subdir string) {
 	t.Helper()
 	diags, sources := analyzeTestdata(t, a, pkgPath, subdir)
+	matchWants(t, diags, sources)
+}
+
+// matchWants verifies diagnostics 1:1 against the // want comments in the
+// given sources (multi-package callers merge their source maps first).
+func matchWants(t *testing.T, diags []Diagnostic, sources map[string][]byte) {
+	t.Helper()
 
 	type want struct {
 		re      *regexp.Regexp
@@ -133,6 +140,13 @@ func runAnalysisTest(t *testing.T, a *Analyzer, pkgPath, subdir string) {
 // the post-suppression diagnostics and the raw sources.
 func analyzeTestdata(t *testing.T, a *Analyzer, pkgPath, subdir string) ([]Diagnostic, map[string][]byte) {
 	t.Helper()
+	pkg := loadFixture(t, pkgPath, subdir)
+	return Run([]*Package{pkg}, []*Analyzer{a}), pkg.Sources
+}
+
+// loadFixture type-checks testdata/<subdir> as package pkgPath.
+func loadFixture(t *testing.T, pkgPath, subdir string) *Package {
+	t.Helper()
 	dir := filepath.Join("testdata", subdir)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -154,5 +168,5 @@ func analyzeTestdata(t *testing.T, a *Analyzer, pkgPath, subdir string) ([]Diagn
 	if err != nil {
 		t.Fatalf("type-checking %s: %v", dir, err)
 	}
-	return Run([]*Package{pkg}, []*Analyzer{a}), pkg.Sources
+	return pkg
 }

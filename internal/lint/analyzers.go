@@ -1,6 +1,8 @@
 package lint
 
-// All returns every boltlint analyzer in stable order.
+// All returns every boltlint analyzer in stable order: the five
+// intraprocedural analyzers from the first lint PR, then the four
+// summary-driven interprocedural ones.
 func All() []*Analyzer {
 	return []*Analyzer{
 		DetrandAnalyzer,
@@ -8,6 +10,10 @@ func All() []*Analyzer {
 		HotallocAnalyzer,
 		SnapshotAnalyzer,
 		RngstreamAnalyzer,
+		HotcallAnalyzer,
+		RCUDisciplineAnalyzer,
+		BarrierMergeAnalyzer,
+		TimerLeakAnalyzer,
 	}
 }
 

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestBarrierMerge(t *testing.T) {
+	runAnalysisTest(t, BarrierMergeAnalyzer, "bolt/internal/exper", "barriermerge")
+}

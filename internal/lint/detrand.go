@@ -21,6 +21,13 @@ var deterministicPkgs = []string{
 	"bolt/internal/par",
 	"bolt/internal/cluster",
 	"bolt/internal/serve",
+	// The serving-plane commands carry the same contract as the libraries
+	// they drive: boltd answers must be bit-exact against the solo
+	// detector, and boltload's shed/served counts are compared across
+	// runs. Their few deliberate wall-clock reads (startup diagnostics,
+	// latency measurement) carry //bolt:nolint reasons.
+	"bolt/cmd/boltd",
+	"bolt/cmd/boltload",
 }
 
 // isDeterministicPkg reports whether path is one of the deterministic

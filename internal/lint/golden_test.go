@@ -1,0 +1,63 @@
+package lint
+
+// TestGoldenDiagnosticInventory runs the FULL analyzer set over every
+// single-package fixture and compares the complete diagnostic list against
+// testdata/diagnostics.golden. The per-analyzer tests check their own
+// fixture with their own analyzer; this inventory additionally pins that
+// no analyzer bleeds unexpected diagnostics into another's fixture, and
+// gives CI's lint-self job one exact answer to assert. Regenerate with
+//
+//	go test ./internal/lint -run TestGoldenDiagnosticInventory -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/diagnostics.golden")
+
+// goldenFixtures maps each fixture directory to the package path it is
+// checked under (package-gated analyzers key on the path).
+var goldenFixtures = []struct{ pkgPath, subdir string }{
+	{"bolt/internal/exper", "barriermerge"},
+	{"bolt/internal/sim", "detrand"},
+	{"bolt/internal/mining", "hotalloc"},
+	{"bolt/internal/hotcall", "hotcall"},
+	{"bolt/internal/exper", "maporder"},
+	{"bolt/internal/exper", "nolintreason"},
+	{"bolt/internal/rcu", "rcu"},
+	{"bolt/internal/exper", "rngstream"},
+	{"bolt/internal/attack", "snapshot"},
+	{"bolt/internal/serve", "timerleak"},
+	{"bolt/internal/sim", "unusednolint"},
+}
+
+func TestGoldenDiagnosticInventory(t *testing.T) {
+	var b strings.Builder
+	for _, f := range goldenFixtures {
+		pkg := loadFixture(t, f.pkgPath, f.subdir)
+		for _, d := range Run([]*Package{pkg}, All()) {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "diagnostics.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostic inventory drifted from testdata/diagnostics.golden (regenerate with -update if intended)\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotcallAnalyzer extends hotalloc across the call graph: a //bolt:hotpath
+// function must be *transitively* allocation-free. hotalloc inspects only
+// the annotated body, so `detect() { score(v) }` with an allocating score
+// passed the lint and was caught much later by the alloc-budget bench gate,
+// far from the line that introduced the allocation. hotcall walks every
+// call in a hot body, consults the module-wide function summaries
+// (summary.go), and reports calls whose callee reaches an allocation —
+// with the full chain, so the diagnostic lands on the call site that
+// entered allocating territory.
+//
+// Interface calls are resolved to every implementation in the analyzed
+// packages: if any implementation allocates, the call is reported (a hot
+// path cannot know which implementation it will get).
+//
+// Division of labor with hotalloc: allocations *in* the annotated body are
+// hotalloc's, including calls to the curated allocatingHelpers table (which
+// carries per-helper fix hints). hotcall reports only allocations reached
+// *through* a callee. Calls under a lazy-init/capacity guard are exempt,
+// mirroring hotalloc's guardedRanges rule, and a //bolt:nolint'd
+// allocation site does not poison its callers' summaries — a documented,
+// budget-pinned allocation stays local to its suppression.
+var HotcallAnalyzer = &Analyzer{
+	Name: "hotcall",
+	Doc:  "flag calls in //bolt:hotpath functions whose callees allocate transitively",
+	Run:  runHotcall,
+}
+
+func runHotcall(pass *Pass) {
+	if pass.Summaries == nil {
+		return
+	}
+	for _, fn := range hotpathFuncs(pass) {
+		if fn.Body == nil {
+			continue
+		}
+		checkHotCalls(pass, fn)
+	}
+}
+
+func checkHotCalls(pass *Pass, fn *ast.FuncDecl) {
+	guarded := guardedRanges(fn.Body)
+	inGuard := func(n ast.Node) bool {
+		for _, r := range guarded {
+			if n.Pos() >= r[0] && n.End() <= r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var selfKey string
+	if f, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+		selfKey = funcKey(f)
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || inGuard(call) {
+			return true
+		}
+		callee := funcObj(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		key := funcKey(callee)
+		if key == selfKey {
+			return true // recursion: the body's own sites are hotalloc's
+		}
+		if _, owned := allocatingHelpers[callee.FullName()]; owned {
+			return true // hotalloc reports these with a fix hint
+		}
+		if !pass.Summaries.TransitivelyAllocates(key) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"call on a hot path allocates transitively: %s → %s",
+			shortFuncName(key), pass.Summaries.AllocChain(key))
+		return true
+	})
+}

@@ -1,0 +1,19 @@
+package lint
+
+import "testing"
+
+func TestHotcall(t *testing.T) {
+	runAnalysisTest(t, HotcallAnalyzer, "bolt/internal/hotcall", "hotcall")
+}
+
+// TestHotcallCatchesWhatHotallocMisses is the acceptance guard for the
+// interprocedural layer: the hotcall fixture's hot path allocates only in
+// transitive callees, so the intraprocedural hotalloc must report nothing
+// there — the two diagnostics in the fixture exist because of the summary
+// layer and nothing else.
+func TestHotcallCatchesWhatHotallocMisses(t *testing.T) {
+	diags, _ := analyzeTestdata(t, HotallocAnalyzer, "bolt/internal/hotcall", "hotcall")
+	for _, d := range diags {
+		t.Errorf("hotalloc unexpectedly reported in the hotcall fixture: %s", d)
+	}
+}

@@ -62,6 +62,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Summaries is the module-wide function-fact index built over every
+	// package in the Run (summary.go). The interprocedural analyzers
+	// (hotcall, rcudiscipline, barriermerge, timerleak) consult it; the
+	// intraprocedural ones ignore it.
+	Summaries *Summaries
+
 	diags *[]Diagnostic
 }
 
@@ -222,9 +228,11 @@ func splitReason(rest *string) (reason string, ok bool) {
 }
 
 // Run executes the analyzers over the packages, applies //bolt:nolint
-// suppressions, reports malformed suppressions, and returns the surviving
-// diagnostics sorted by position.
+// suppressions, reports malformed and unused suppressions, and returns the
+// surviving diagnostics sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	summaries := BuildSummaries(pkgs)
+
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		sups := parseSuppressions(pkg)
@@ -237,6 +245,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Summaries: summaries,
 				diags:     &raw,
 			}
 			a.Run(pass)
@@ -264,6 +273,20 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 					Analyzer: NolintAnalyzerName,
 					Message:  "//bolt:nolint requires a reason: //bolt:nolint <analyzer>[,<analyzer>] -- <reason>",
 				})
+				continue
+			}
+			// A suppression that matched nothing is stale: the code it
+			// excused has moved or been fixed, and a silent stale nolint
+			// would hide the next real diagnostic on that line. Only judged
+			// when every analyzer it names actually ran (a partial
+			// -analyzers run can't tell).
+			if !used[i] && runSetCovers(analyzers, sups[i].analyzers) {
+				all = append(all, Diagnostic{
+					Pos:      sups[i].pos,
+					Position: pkg.Fset.Position(sups[i].pos),
+					Analyzer: NolintAnalyzerName,
+					Message:  "unused //bolt:nolint: no diagnostic here to suppress; remove the stale suppression",
+				})
 			}
 		}
 	}
@@ -281,6 +304,34 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		return all[i].Analyzer < all[j].Analyzer
 	})
 	return all
+}
+
+// runSetCovers reports whether the analyzers that ran include everything a
+// suppression names (or, for a bare suppress-all comment, the full
+// analyzer set) — the precondition for judging the suppression unused.
+func runSetCovers(ran []*Analyzer, named []string) bool {
+	inRun := func(name string) bool {
+		for _, a := range ran {
+			if a.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	if len(named) == 0 {
+		for _, a := range All() {
+			if !inRun(a.Name) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, n := range named {
+		if !inRun(n) {
+			return false
+		}
+	}
+	return true
 }
 
 // hotpathFuncs returns the functions in the pass marked //bolt:hotpath.

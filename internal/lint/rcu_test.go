@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestRCUDiscipline(t *testing.T) {
+	runAnalysisTest(t, RCUDisciplineAnalyzer, "bolt/internal/rcu", "rcu")
+}

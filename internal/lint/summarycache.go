@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// Per-package summary caching. The loader already reuses the compiler's
+// export data instead of re-type-checking dependencies; the summary layer
+// mirrors that shape one level up: the local FuncFacts of a package are a
+// pure function of its sources and its dependencies' summaries, so they are
+// serialized to disk keyed by a content hash chained through the import
+// graph. A warm run skips fact extraction entirely; correctness never
+// depends on the cache (misses and IO failures fall back to extraction).
+//
+// Only local facts are cached. The transitive closure depends on the whole
+// set of packages in the run (interface implementations can come from
+// anywhere), so it is recomputed fresh each BuildSummaries.
+
+// summaryCacheDir is where per-package fact files live. Empty disables
+// caching (tests use this to pin determinism without disk state).
+var summaryCacheDir = defaultSummaryCacheDir()
+
+func defaultSummaryCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "boltlint", "summary")
+}
+
+// SetSummaryCacheDir overrides the summary cache location. Empty disables
+// caching. Returns the previous value so tests can restore it.
+func SetSummaryCacheDir(dir string) string {
+	prev := summaryCacheDir
+	summaryCacheDir = dir
+	return prev
+}
+
+// summaryCacheKey hashes everything the local facts of pkg depend on: the
+// extractor version, the toolchain, the package path, every source file's
+// name and content (sorted), and — chained — the cache keys of its
+// dependencies among the analyzed packages (depHashes is populated in
+// sorted-path order by BuildSummaries, so the chaining is deterministic).
+func summaryCacheKey(pkg *Package, depHashes map[string]string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d\n%s\n%s\n", summaryVersion, runtime.Version(), pkg.PkgPath)
+
+	names := make([]string, 0, len(pkg.Sources))
+	for name := range pkg.Sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(h, "%s\n%d\n", filepath.Base(name), len(pkg.Sources[name]))
+		h.Write(pkg.Sources[name])
+	}
+
+	imports := pkg.Types.Imports()
+	paths := make([]string, 0, len(imports))
+	for _, imp := range imports {
+		paths = append(paths, imp.Path())
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if dh, ok := depHashes[p]; ok {
+			fmt.Fprintf(h, "dep %s %s\n", p, dh)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// loadCachedSummary reads the facts stored under key, if any.
+func loadCachedSummary(key string) (map[string]*FuncFacts, bool) {
+	if summaryCacheDir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(summaryCacheDir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var facts map[string]*FuncFacts
+	if err := json.Unmarshal(data, &facts); err != nil {
+		return nil, false
+	}
+	return facts, true
+}
+
+// storeCachedSummary writes facts under key. Failures are silent: the cache
+// is an accelerator, never a correctness dependency.
+func storeCachedSummary(key string, facts map[string]*FuncFacts) {
+	if summaryCacheDir == "" {
+		return
+	}
+	data, err := json.Marshal(facts)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(summaryCacheDir, 0o755); err != nil {
+		return
+	}
+	tmp := filepath.Join(summaryCacheDir, key+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(summaryCacheDir, key+".json"))
+}

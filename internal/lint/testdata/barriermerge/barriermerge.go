@@ -1,0 +1,97 @@
+// Test fixture for the barriermerge analyzer: results produced under
+// par.FanOut must land in index-addressed slots and be merged by an
+// index-ordered loop after the barrier. Completion-order merges (channel
+// receives, shared appends, map writes, scalar accumulation) are reported,
+// including through a local wrapper the fixed point discovers.
+package barriermerge
+
+import "bolt/internal/par"
+
+// Indexed is the sanctioned shape: worker i owns slot i, the fold after
+// the barrier runs in index order.
+func Indexed(n int) float64 {
+	out := make([]float64, n)
+	par.FanOut(n, 4, func(i int) string { return "indexed" }, func(i int) {
+		out[i] = float64(i * i)
+	})
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	return total
+}
+
+// ChannelMerge receives in completion order: schedule-dependent.
+func ChannelMerge(n int) []float64 {
+	ch := make(chan float64, n)
+	par.FanOut(n, 4, func(i int) string { return "chan" }, func(i int) {
+		ch <- float64(i) // want `send on a shared channel from a fan-out body`
+	})
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, <-ch)
+	}
+	return out
+}
+
+// AppendMerge appends in completion order.
+func AppendMerge(n int) []float64 {
+	var out []float64
+	par.FanOut(n, 4, func(i int) string { return "append" }, func(i int) {
+		out = append(out, float64(i)) // want `append to shared out from a fan-out body`
+	})
+	return out
+}
+
+// MapMerge writes a shared map: racy, and iteration order varies anyway.
+func MapMerge(n int) map[int]float64 {
+	m := make(map[int]float64, n)
+	par.FanOut(n, 4, func(i int) string { return "map" }, func(i int) {
+		m[i] = float64(i) // want `write into shared map m from a fan-out body`
+	})
+	return m
+}
+
+// SumMerge accumulates into a shared scalar: float addition order changes
+// the bits, and the write races besides.
+func SumMerge(n int) float64 {
+	total := 0.0
+	par.FanOut(n, 4, func(i int) string { return "sum" }, func(i int) {
+		total += float64(i) // want `compound assignment to shared total from a fan-out body`
+	})
+	return total
+}
+
+// CountMerge increments a shared counter.
+func CountMerge(n int) int {
+	count := 0
+	par.FanOut(n, 4, func(i int) string { return "count" }, func(i int) {
+		count++ // want `increment of shared count from a fan-out body`
+	})
+	return count
+}
+
+// fanAll is a local wrapper forwarding its body parameter to par.FanOut;
+// the summary fixed point learns it is a fan-out entry point without any
+// per-wrapper registration.
+func fanAll(n int, body func(int)) {
+	par.FanOut(n, 4, func(i int) string { return "wrapped" }, body)
+}
+
+// WrappedMerge violates through the wrapper.
+func WrappedMerge(n int) float64 {
+	total := 0.0
+	fanAll(n, func(i int) {
+		total += float64(i) // want `compound assignment to shared total from a fan-out body`
+	})
+	return total
+}
+
+// WrappedIndexed stays clean through the wrapper.
+func WrappedIndexed(n int) []float64 {
+	out := make([]float64, n)
+	fanAll(n, func(i int) {
+		out[i] = float64(i)
+	})
+	return out
+}

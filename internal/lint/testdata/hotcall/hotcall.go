@@ -1,0 +1,61 @@
+// Test fixture for the hotcall analyzer: the acceptance case for the
+// interprocedural layer. Sum's annotated body contains no allocation
+// construct, so hotalloc (which inspects only the body) stays silent — the
+// TestHotcallCatchesWhatHotallocMisses guard pins that — but the callee
+// chain Sum → fill → scratch reaches a make, and hotcall reports it at the
+// call site with the full chain.
+package hotcall
+
+// scratch is the allocation two hops away.
+func scratch(n int) []int {
+	return make([]int, n)
+}
+
+// fill is the intermediate hop: no local allocation, inherits one.
+func fill(n int) []int {
+	return scratch(n)
+}
+
+// grow allocates locally but only under a capacity guard: lazy-init sites
+// do not count, so calling grow from a hot path is fine.
+func grow(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	return buf[:n]
+}
+
+// formatted allocates through the curated external table (fmt.Sprintf).
+func formatted(n int) string {
+	return "n=" + itoa(n)
+}
+
+// itoa is a hand-rolled allocation-free conversion... except it is not:
+// the append has no capacity provenance.
+func itoa(n int) string {
+	var buf []byte
+	for n > 0 {
+		buf = append(buf, byte('0'+n%10))
+		n /= 10
+	}
+	return string(buf)
+}
+
+// Sum is the hot path. Its own body allocates nothing — hotalloc finds no
+// construct here — but two of its calls reach allocations transitively.
+//
+//bolt:hotpath
+func Sum(buf []int, n int) int {
+	tmp := fill(n) // want `call on a hot path allocates transitively: hotcall.fill → hotcall.scratch → make \(hotcall.go:\d+\)`
+	buf = grow(buf, n)
+	for i := range buf {
+		buf[i] = 0
+	}
+	total := 0
+	for _, v := range tmp {
+		total += v
+	}
+	label := formatted(n) // want `call on a hot path allocates transitively: hotcall.formatted → hotcall.itoa → append without capacity provenance \(hotcall.go:\d+\)`
+	_ = label
+	return total
+}

@@ -1,0 +1,43 @@
+// Test fixture (multi-package, leaf half): declares an interface and two
+// implementations — one allocating, one clean — for the cross-package
+// interface-dispatch test of the summary layer's fixed point.
+package leaf
+
+// Measurer is dispatched through by the hot path in the root package.
+type Measurer interface {
+	Measure(xs []float64) float64
+}
+
+// Alloc implements Measurer with an allocating body: any hot path calling
+// through Measurer must be charged with this implementation.
+type Alloc struct{}
+
+func (Alloc) Measure(xs []float64) float64 {
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	s := 0.0
+	for _, x := range tmp {
+		s += x
+	}
+	return s
+}
+
+// Clean implements Measurer allocation-free.
+type Clean struct{}
+
+func (Clean) Measure(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// MaxDepth recurses across a package-internal cycle with no allocation;
+// the fixed point must converge without marking it allocating.
+func MaxDepth(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return 1 + MaxDepth(n-1)
+}

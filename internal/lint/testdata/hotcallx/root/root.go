@@ -1,0 +1,39 @@
+// Test fixture (multi-package, root half): hot paths that cross the
+// package boundary. Reduce dispatches through an interface whose
+// allocating implementation lives in the leaf package; Probe leans on a
+// recursive cycle that must not be reported.
+package root
+
+import "bolt/internal/hotx/leaf"
+
+// Reduce calls through the interface: the summary layer resolves every
+// implementation in the analyzed set, finds leaf.Alloc.Measure's make, and
+// charges the dispatch site.
+//
+//bolt:hotpath
+func Reduce(m leaf.Measurer, xs []float64) float64 {
+	return m.Measure(xs) // want `call on a hot path allocates transitively: \(leaf.Measurer\).Measure → \(leaf.Alloc\).Measure → make \(leaf.go:\d+\)`
+}
+
+// mutual and recurse form a cross-function cycle with no allocation.
+func mutual(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return recurse(n - 1)
+}
+
+func recurse(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return mutual(n - 1)
+}
+
+// Probe exercises both cycles; a pure cycle never allocates, so the fixed
+// point must leave these calls unreported.
+//
+//bolt:hotpath
+func Probe(n int) int {
+	return leaf.MaxDepth(n) + mutual(n) + recurse(n)
+}

@@ -1,0 +1,89 @@
+// Test fixture for the rcudiscipline analyzer: the serve-style RCU
+// snapshot contract. Good patterns (constructor Store, CAS-retry writer,
+// load-once readers) pass; re-loads, loop loads, raw writes, retention,
+// and interprocedural re-loads are reported.
+package rcu
+
+import "sync/atomic"
+
+type snapshot struct {
+	version uint64
+}
+
+type Server struct {
+	snap  atomic.Pointer[snapshot]
+	stale *snapshot
+}
+
+// NewServer stores into a receiver that is still function-local: the one
+// sanctioned Store.
+func NewServer() *Server {
+	s := &Server{}
+	s.snap.Store(&snapshot{version: 1})
+	return s
+}
+
+// Swap is the sanctioned writer: the Load inside the retry loop belongs to
+// the CAS idiom and must not be reported.
+func (s *Server) Swap(next *snapshot) uint64 {
+	for {
+		cur := s.snap.Load()
+		n := &snapshot{version: cur.version + 1}
+		_ = next
+		if s.snap.CompareAndSwap(cur, n) {
+			return n.version
+		}
+	}
+}
+
+// Answer is the sanctioned reader: one Load pins one generation for the
+// whole scope.
+func (s *Server) Answer() uint64 {
+	sn := s.snap.Load()
+	return sn.version + sn.version
+}
+
+// Reload pins twice in one scope; the two pointers may straddle a Swap.
+func (s *Server) Reload() uint64 {
+	a := s.snap.Load()
+	b := s.snap.Load() // want `loaded again in the same scope`
+	return a.version + b.version
+}
+
+// LoopLoad re-pins every iteration.
+func (s *Server) LoopLoad(n int) uint64 {
+	var total uint64
+	for i := 0; i < n; i++ {
+		sn := s.snap.Load() // want `loaded inside a loop`
+		total += sn.version
+	}
+	return total
+}
+
+// RawStore bypasses the CAS idiom outside a constructor.
+func (s *Server) RawStore(next *snapshot) {
+	s.snap.Store(next) // want `written with Store`
+}
+
+// RawSwap loses a concurrent writer's version bump.
+func (s *Server) RawSwap(next *snapshot) *snapshot {
+	return s.snap.Swap(next) // want `written with Swap`
+}
+
+// Retain parks a loaded pointer beyond the scope that pinned it.
+func (s *Server) Retain() {
+	s.stale = s.snap.Load() // want `retained in rcu.Server.stale`
+}
+
+// Nested calls a loader from a scope that already holds a pin: the callee
+// may answer from a newer generation than the caller.
+func (s *Server) Nested() uint64 {
+	sn := s.snap.Load()
+	return sn.version + s.current() // want `re-loads atomic.Pointer rcu.Server.snap`
+}
+
+// current loads once: clean on its own, the hazard is calling it from a
+// pinned scope.
+func (s *Server) current() uint64 {
+	return s.snap.Load().version
+}

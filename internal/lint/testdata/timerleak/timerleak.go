@@ -1,0 +1,125 @@
+// Test fixture for the timerleak analyzer: timers/tickers need a Stop
+// reachable from the creating function, and — in deterministic packages —
+// every `go` statement needs a join. The fixture is checked under a
+// deterministic package path so the goroutine half is active.
+package timerleak
+
+import (
+	"sync"
+	"time"
+)
+
+// Stopped is the clean timer pattern.
+func Stopped(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+}
+
+// CondStopped mirrors serve's linger timer: created under a config guard,
+// stopped in the same function.
+func CondStopped(d time.Duration) {
+	var t *time.Timer
+	if d > 0 {
+		t = time.NewTimer(d)
+	}
+	if t != nil {
+		t.Stop()
+	}
+}
+
+// Leak never stops its ticker: its goroutine runs forever.
+func Leak(d time.Duration) time.Time {
+	t := time.NewTicker(d) // want `time.NewTicker result t is never Stop\(\)ed`
+	return <-t.C
+}
+
+// Discard cannot stop the ticker at all.
+func Discard(d time.Duration) {
+	time.NewTicker(d) // want `time.NewTicker result discarded`
+}
+
+// Tick has no Stop by construction.
+func Tick(d time.Duration) <-chan time.Time {
+	return time.Tick(d) // want `time.Tick leaks its ticker goroutine`
+}
+
+// Handed passes the timer to another owner: that owner's discipline, not
+// this function's; the analyzer stays silent.
+func Handed(d time.Duration, own func(*time.Timer)) {
+	t := time.NewTimer(d)
+	own(t)
+}
+
+// WGJoined launches with a WaitGroup the launcher waits on.
+func WGJoined(n int) int {
+	var wg sync.WaitGroup
+	total := make([]int, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			total[i] = i
+		}()
+	}
+	wg.Wait()
+	s := 0
+	for _, v := range total {
+		s += v
+	}
+	return s
+}
+
+// ChanJoined signals completion on a channel the launcher receives from.
+func ChanJoined() int {
+	done := make(chan int, 1)
+	go func() {
+		done <- 42
+	}()
+	return <-done
+}
+
+// CloseJoined signals by closing a channel the launcher drains.
+func CloseJoined() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	<-done
+}
+
+// Pool joins interprocedurally: run Done()s a WaitGroup field that Close
+// Waits on — the summary layer connects the two across functions.
+type Pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *Pool) Start(n int) {
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.run()
+	}
+}
+
+func (p *Pool) run() {
+	defer p.wg.Done()
+}
+
+func (p *Pool) Close() {
+	p.wg.Wait()
+}
+
+// Orphan has no join at all.
+func Orphan() {
+	go func() { // want `goroutine in deterministic package .* has no join`
+		_ = 1
+	}()
+}
+
+// OrphanNamed launches a named function nothing ever waits for.
+func OrphanNamed() {
+	go sideEffect() // want `goroutine in deterministic package .* has no join`
+}
+
+func sideEffect() {}

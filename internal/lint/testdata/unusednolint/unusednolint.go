@@ -1,0 +1,20 @@
+// Test fixture for unused-suppression detection: a //bolt:nolint whose
+// diagnostic has been fixed (or moved) no longer suppresses anything and
+// is itself reported, keeping the suppression inventory honest. Checked
+// under a deterministic package path so detrand is active.
+package unusednolint
+
+import "time"
+
+// Fresh keeps its excuse: the wall-clock read it covers is still here.
+func Fresh() time.Time {
+	//bolt:nolint detrand -- fixture: deliberate wall-clock read, excused
+	return time.Now()
+}
+
+// Stale lost its excuse: the read this comment once covered is gone, so
+// the suppression matches nothing and must be reported.
+func Stale() int {
+	//bolt:nolint detrand -- fixture: the wall-clock read below was removed // want `unused //bolt:nolint`
+	return 42
+}

@@ -1,0 +1,342 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TimerLeakAnalyzer covers the two resource-lifetime contracts the serving
+// plane introduced:
+//
+//   - Every time.NewTimer / time.NewTicker needs a Stop reachable from the
+//     function that created it. An unstopped ticker leaks its goroutine
+//     forever; an unstopped timer pins its callback and channel until it
+//     fires. time.Tick is reported unconditionally — it has no Stop at
+//     all. A timer that escapes the creating function (returned, stored
+//     into a struct, or handed to another function) is left to that
+//     owner's discipline; the analyzer stays silent rather than guessing.
+//
+//   - In deterministic packages, every `go` statement needs a matching
+//     join: a WaitGroup the launcher (or its package) Waits on, or a
+//     channel the launching function receives from or ranges over. A
+//     fire-and-forget goroutine outlives the scope that measured around
+//     it, so its work lands in whichever tick or episode happens to be
+//     running when it finishes — schedule-dependence of exactly the kind
+//     the byte-identical suite contract forbids. Join discovery is
+//     interprocedural: `go s.worker()` is joined when worker transitively
+//     Done()s a WaitGroup field that some function Waits on (serve's
+//     Server.wg span worker→Close), courtesy of the summary layer.
+var TimerLeakAnalyzer = &Analyzer{
+	Name: "timerleak",
+	Doc:  "require Stop for timers/tickers and a join for goroutines in deterministic packages",
+	Run:  runTimerLeak,
+}
+
+func runTimerLeak(pass *Pass) {
+	checkGoroutines := isDeterministicPkg(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkTimers(pass, fn)
+			if checkGoroutines {
+				checkGoJoins(pass, fn)
+			}
+		}
+	}
+}
+
+// timeFunc returns the name of the time-package function a call invokes
+// ("" otherwise).
+func timeFunc(pass *Pass, call *ast.CallExpr) string {
+	fn := funcObj(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return ""
+	}
+	return fn.Name()
+}
+
+// checkTimers enforces the Stop contract within one function declaration
+// (function literals included — a timer made in a goroutine body and
+// stopped there is fine, and both sides are in this scope).
+func checkTimers(pass *Pass, fn *ast.FuncDecl) {
+	parent := parentMap(fn.Body)
+
+	// stopped: objects with a .Stop() call; escaped: objects returned,
+	// passed to another function, or parked in non-local storage.
+	stopped := map[types.Object]bool{}
+	escaped := map[types.Object]bool{}
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if o := pass.TypesInfo.Uses[id]; o != nil {
+			return o
+		}
+		return pass.TypesInfo.Defs[id]
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Stop" {
+				if o := objOf(sel.X); o != nil {
+					stopped[o] = true
+				}
+			}
+			for _, arg := range node.Args {
+				if o := objOf(arg); o != nil {
+					escaped[o] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range node.Results {
+				if o := objOf(r); o != nil {
+					escaped[o] = true
+				}
+			}
+		case *ast.AssignStmt:
+			// t assigned onward (into a field, another variable, a slice
+			// slot…): ownership moved, stay silent.
+			for i, rhs := range node.Rhs {
+				if o := objOf(rhs); o != nil {
+					if i < len(node.Lhs) {
+						if _, isIdent := ast.Unparen(node.Lhs[i]).(*ast.Ident); !isIdent {
+							escaped[o] = true
+						} else {
+							escaped[o] = true // aliased; the alias may be the one stopped
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch timeFunc(pass, call) {
+		case "Tick":
+			pass.Reportf(call.Pos(),
+				"time.Tick leaks its ticker goroutine forever; use time.NewTicker with a deferred Stop")
+		case "NewTimer", "NewTicker":
+			name := timeFunc(pass, call)
+			switch p := parent[call].(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range p.Rhs {
+					if ast.Unparen(rhs) != ast.Expr(call) || i >= len(p.Lhs) {
+						continue
+					}
+					o := objOf(p.Lhs[i])
+					if o == nil { // bound to a field or index: escapes to its owner
+						continue
+					}
+					if !stopped[o] && !escaped[o] {
+						pass.Reportf(call.Pos(),
+							"time.%s result %s is never Stop()ed in this function; an unstopped %s leaks — defer %s.Stop()",
+							name, o.Name(), leakNoun(name), o.Name())
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range p.Values {
+					if ast.Unparen(v) != ast.Expr(call) || i >= len(p.Names) {
+						continue
+					}
+					o := pass.TypesInfo.Defs[p.Names[i]]
+					if o != nil && !stopped[o] && !escaped[o] {
+						pass.Reportf(call.Pos(),
+							"time.%s result %s is never Stop()ed in this function; an unstopped %s leaks — defer %s.Stop()",
+							name, o.Name(), leakNoun(name), o.Name())
+					}
+				}
+			case *ast.ExprStmt:
+				pass.Reportf(call.Pos(),
+					"time.%s result discarded; the %s cannot be stopped and leaks", name, leakNoun(name))
+			}
+		}
+		return true
+	})
+}
+
+func leakNoun(timeFn string) string {
+	if timeFn == "NewTicker" {
+		return "ticker"
+	}
+	return "timer"
+}
+
+// checkGoJoins enforces the join contract for every `go` statement in fn.
+func checkGoJoins(pass *Pass, fn *ast.FuncDecl) {
+	var gos []*ast.GoStmt
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			gos = append(gos, g)
+		}
+		return true
+	})
+	for _, g := range gos {
+		if goStmtJoined(pass, fn, g) {
+			continue
+		}
+		pass.Reportf(g.Pos(),
+			"goroutine in deterministic package %s has no join (WaitGroup Wait or channel receive); a fire-and-forget goroutine makes completion timing observable", pass.Pkg.Path())
+	}
+}
+
+// goStmtJoined decides whether one `go` statement has a matching join.
+func goStmtJoined(pass *Pass, fn *ast.FuncDecl, g *ast.GoStmt) bool {
+	// Named callee: joined when it transitively Done()s a WaitGroup field
+	// someone Waits on.
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return funcLitJoined(pass, fn, lit)
+	}
+	callee := funcObj(pass.TypesInfo, g.Call)
+	if callee == nil {
+		return false // call through a function value: unverifiable
+	}
+	if pass.Summaries == nil {
+		return false
+	}
+	for _, k := range pass.Summaries.TransitiveWGDone(funcKey(callee)) {
+		if pass.Summaries.WGWaitExists(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcLitJoined decides whether a `go func() {...}()` body signals its
+// completion in a way the launching function (or its package) waits for.
+func funcLitJoined(pass *Pass, fn *ast.FuncDecl, lit *ast.FuncLit) bool {
+	joined := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			// wg.Done() — local WaitGroup waited on in this function, or a
+			// field WaitGroup waited on somewhere in the module.
+			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if isWaitGroup(pass, sel.X) {
+					if key := storageKey(pass, sel.X); key != "" {
+						if pass.Summaries != nil && pass.Summaries.WGWaitExists(key) {
+							joined = true
+						}
+					} else if o := exprObj(pass, sel.X); o != nil && objHasWait(pass, fn, o) {
+						joined = true
+					}
+				}
+			}
+			// close(ch) on a channel the launcher receives from.
+			if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" && len(node.Args) == 1 {
+					if o := exprObj(pass, node.Args[0]); o != nil && objReceivedFrom(pass, fn, lit, o) {
+						joined = true
+					}
+				}
+			}
+			// Delegated body: calls a function that transitively Done()s a
+			// waited-on WaitGroup field.
+			if pass.Summaries != nil {
+				if callee := funcObj(pass.TypesInfo, node); callee != nil {
+					for _, k := range pass.Summaries.TransitiveWGDone(funcKey(callee)) {
+						if pass.Summaries.WGWaitExists(k) {
+							joined = true
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			// ch <- v on a channel the launcher receives from.
+			if o := exprObj(pass, node.Chan); o != nil && objReceivedFrom(pass, fn, lit, o) {
+				joined = true
+			}
+		}
+		return true
+	})
+	return joined
+}
+
+func exprObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// isWaitGroup reports whether e has type sync.WaitGroup (or pointer to it).
+func isWaitGroup(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// objHasWait reports whether fn's body calls Wait on the given object.
+func objHasWait(pass *Pass, fn *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Wait" {
+			return true
+		}
+		if exprObj(pass, sel.X) == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// objReceivedFrom reports whether fn receives from (or ranges over) the
+// channel object outside the launched literal.
+func objReceivedFrom(pass *Pass, fn *ast.FuncDecl, lit *ast.FuncLit, obj types.Object) bool {
+	found := false
+	inside := func(n ast.Node) bool { return n.Pos() >= lit.Pos() && n.End() <= lit.End() }
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.UnaryExpr:
+			if node.Op.String() == "<-" && !inside(node) && exprObj(pass, node.X) == obj {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if !inside(node) && exprObj(pass, node.X) == obj {
+				if t := pass.TypesInfo.TypeOf(node.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						found = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,30 @@
+package lint
+
+import "testing"
+
+func TestTimerLeak(t *testing.T) {
+	runAnalysisTest(t, TimerLeakAnalyzer, "bolt/internal/serve", "timerleak")
+}
+
+// TestTimerLeakGoroutinesGatedToDeterministicPkgs pins that the goroutine
+// half of the analyzer stays quiet outside deterministic packages (the
+// timer half runs everywhere): the fixture's two orphaned goroutines are
+// its only go statements, so under a non-deterministic path only the three
+// timer diagnostics remain.
+func TestTimerLeakGoroutinesGatedToDeterministicPkgs(t *testing.T) {
+	diags, _ := analyzeTestdata(t, TimerLeakAnalyzer, "bolt/cmd/boltexp", "timerleak")
+	for _, d := range diags {
+		if d.Analyzer != TimerLeakAnalyzer.Name {
+			continue
+		}
+		if got := d.Message; len(got) >= 9 && got[:9] == "goroutine" {
+			t.Errorf("goroutine-join diagnostic outside a deterministic package: %s", d)
+		}
+	}
+	if len(diags) != 3 {
+		t.Errorf("want exactly the 3 timer diagnostics outside deterministic packages, got %d:", len(diags))
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+	}
+}

@@ -71,6 +71,13 @@ func ServeListener(l net.Listener, s *Server) error {
 		if err != nil {
 			return err
 		}
+		// Per-connection handlers are deliberately fire-and-forget: each
+		// goroutine's lifetime is bounded by its connection (handleConn
+		// defers conn.Close and exits on the first decode error), and the
+		// only shared state it touches is Server.Detect, which answers
+		// ErrClosed after Close. Joining them would make shutdown wait on
+		// arbitrarily slow clients.
+		//bolt:nolint timerleak -- connection-bounded handler; Detect fails fast with ErrClosed after Close, so no join is needed
 		go handleConn(conn, s)
 	}
 }
