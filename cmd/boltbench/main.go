@@ -4,7 +4,7 @@
 // Usage:
 //
 //	boltbench [-seed N] [-run id[,id...]] [-parallel N] [-epworkers N]
-//	          [-shardworkers N] [-fleet N] [-json] [-list]
+//	          [-shardworkers N] [-fleet N] [-defence p[,p...]] [-json] [-list]
 //
 // Without -run it executes all experiments in paper order. Experiment IDs
 // match the per-experiment index in DESIGN.md (table1, fig2, ... ablation);
@@ -22,8 +22,9 @@
 // sharded worker pool (-shardworkers, default GOMAXPROCS); per-server RNG
 // pre-splitting and the server-id-ordered tick barrier keep stdout
 // byte-identical at every -shardworkers level too. -fleet pins the fleet's
-// server count (e.g. 4096 for the ~20k-VM datacenter run); unlike the
-// worker knobs it changes the experiment itself, not just its schedule.
+// server count (e.g. 4096 for the ~20k-VM datacenter run) and -defence
+// selects the defencesweep experiment's placement-policy ladder; unlike
+// the worker knobs these change the experiment itself, not its schedule.
 //
 // -cpuprofile and -memprofile write pprof profiles of the run (the
 // standard `go tool pprof` format); the memory profile is taken after a
@@ -64,6 +65,8 @@ func run() (code int) {
 		"max fleet-tick shards in flight inside the fleet experiment; 0 = GOMAXPROCS (results are identical at any level)")
 	fleetSize := flag.Int("fleet", 0,
 		"server count for the fleet experiment; 0 sweeps the default fleet-size ladder (different values are different experiments)")
+	defence := flag.String("defence", "",
+		"comma-separated placement policies for the defencesweep experiment (none, pssf, bandit-eps, bandit-ucb, mtd); empty runs the full ladder (different values are different experiments)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after final GC) to this file")
 	faultRate := flag.Float64("faultrate", 0,
@@ -80,6 +83,7 @@ func run() (code int) {
 	exper.SetEpisodeWorkers(*epworkers)
 	fleet.SetShardWorkers(*shardworkers)
 	exper.SetFleetServers(*fleetSize)
+	exper.SetDefencePolicies(*defence)
 
 	if *list {
 		for _, e := range exper.All() {

@@ -79,6 +79,53 @@ func TestMigrateRollbackOnFullDestination(t *testing.T) {
 	}
 }
 
+func TestMigrateRollbackKeepsIndexConsistent(t *testing.T) {
+	// The harder edge: the destination passes the capacity check but
+	// rejects the VM at placement time (here: it already carries a VM with
+	// the same id, placed directly on the server the way campaign
+	// background tenants are). Migrate must roll the VM back onto its
+	// source with the id→host index still answering correctly.
+	c := &Cluster{Sched: LeastLoaded{}}
+	src := sim.NewServer("src", sim.ServerConfig{Cores: 2, ThreadsPerCore: 2})
+	dst := sim.NewServer("dst", sim.ServerConfig{Cores: 8, ThreadsPerCore: 2})
+	c.Servers = []*sim.Server{src, dst}
+
+	spec := workload.VictimSpecs(1, 1)[0]
+	if err := dst.Place(mkVM("victim", 1, spec, 7)); err != nil {
+		t.Fatal(err)
+	}
+	vm := mkVM("victim", 2, spec, 1)
+	if err := src.Place(vm); err != nil {
+		t.Fatal(err)
+	}
+	c.index()["victim"] = src // the cluster-managed instance lives on src
+
+	if _, err := c.Migrate("victim", 0); err == nil {
+		t.Fatal("migration into a rejecting destination should fail")
+	}
+	if c.HostOf("victim") != src {
+		t.Fatal("rollback must leave the index pointing at the source")
+	}
+	if src.Lookup("victim") == nil {
+		t.Fatal("rollback must leave the VM on its source")
+	}
+	if got := src.Lookup("victim"); got != vm {
+		t.Fatalf("source holds %v, want the original VM", got)
+	}
+	if c.Migrations != 0 {
+		t.Fatal("failed migration must not count")
+	}
+	// The cluster stays fully usable: the VM can still be removed and
+	// re-placed through the normal path (once the decoy id is gone).
+	if got := c.Remove("victim"); got != src {
+		t.Fatalf("Remove after failed migration returned %v, want src", got)
+	}
+	dst.Remove("victim")
+	if _, err := c.Place(vm, 0); err != nil {
+		t.Fatalf("re-Place after failed migration: %v", err)
+	}
+}
+
 func TestMigrationPreservesSlotsShape(t *testing.T) {
 	c := New(2, sim.ServerConfig{}, LeastLoaded{})
 	spec := workload.VictimSpecs(2, 1)[0]

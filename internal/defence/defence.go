@@ -23,6 +23,10 @@ type Detector interface {
 	Observe(t sim.Tick, usage sim.Vector)
 	// Alarmed reports whether the detector has fired, and when.
 	Alarmed() (bool, sim.Tick)
+	// Reset re-arms the detector: the alarm state and every learned
+	// statistic are cleared, so the same value can watch the next episode
+	// (or keep watching a host after the defence acted on the alarm).
+	Reset()
 	// Name identifies the policy in reports.
 	Name() string
 }
@@ -75,6 +79,18 @@ func (c *CPUThreshold) Observe(t sim.Tick, usage sim.Vector) {
 
 // Alarmed implements Detector.
 func (c *CPUThreshold) Alarmed() (bool, sim.Tick) { return c.alarmed, c.alarmedAt }
+
+// Reset implements Detector: it clears the alarm and the above-threshold
+// streak so the detector can be reused across episodes. Before this method
+// existed a fired CPUThreshold stayed latched forever — a monitor driving
+// migration could act on its alarm exactly once per process. Configuration
+// (Threshold, Sustain) is preserved.
+func (c *CPUThreshold) Reset() {
+	c.above = 0
+	c.start = 0
+	c.alarmed = false
+	c.alarmedAt = 0
+}
 
 // MultiResourceAnomaly learns a per-resource baseline (mean and variance,
 // Welford's method) during a warm-up window, then fires when any resource's
@@ -155,6 +171,22 @@ func (m *MultiResourceAnomaly) Observe(t sim.Tick, usage sim.Vector) {
 
 // Alarmed implements Detector.
 func (m *MultiResourceAnomaly) Alarmed() (bool, sim.Tick) { return m.alarmed, m.alarmedAt }
+
+// Reset implements Detector: it clears the alarm, the anomaly streak, and
+// the learned baseline, so a reused detector re-learns its warm-up from the
+// host's current behaviour (after a migration the tenant mix — and thus the
+// legitimate baseline — has changed, so relearning is the correct
+// behaviour, not an implementation convenience). Configuration (Warmup,
+// Sigma, Sustain) is preserved.
+func (m *MultiResourceAnomaly) Reset() {
+	m.n = 0
+	m.mean = sim.Vector{}
+	m.varAcc = sim.Vector{}
+	m.anomalous = 0
+	m.alarmed = false
+	m.alarmedAt = 0
+	m.trippedBy = 0
+}
 
 // TrippedBy returns the resource whose deviation fired the alarm.
 func (m *MultiResourceAnomaly) TrippedBy() sim.Resource { return m.trippedBy }

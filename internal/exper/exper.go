@@ -108,6 +108,7 @@ func All() []Experiment {
 		// every earlier golden capture.
 		{"faultrate", "Detection accuracy under injected measurement faults", FaultRate},
 		{"fleet", "Fleet-scale scheduler-guided co-location (launch-strategy sweep)", FleetExp},
+		{"defencesweep", "Attacker vs defender: secure placement against scheduler-guided co-location", DefenceSweep},
 	}
 }
 

@@ -4,12 +4,10 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"bolt/internal/attack"
 	"bolt/internal/cluster"
-	"bolt/internal/fleet"
-	"bolt/internal/sim"
 	"bolt/internal/stats"
 	"bolt/internal/trace"
-	"bolt/internal/workload"
 )
 
 // fleetServers overrides the fleet sizes the fleet experiment sweeps
@@ -32,57 +30,32 @@ func SetFleetServers(n int) {
 // FleetServers returns the configured fleet size override (0 = default).
 func FleetServers() int { return int(fleetServers.Load()) }
 
-const (
-	// fleetBackgroundVMs is the number of background tenant VMs seeded per
-	// server (~5 VMs/server matches the ~20k-VM datacenter at 4096 servers).
-	fleetBackgroundVMs = 5
-	// fleetBackgroundLoad keeps background tenants at the low mean
-	// utilisation the paper observes in production fleets — the headroom
-	// that makes placement attacks (and their detection signal) possible.
-	fleetBackgroundLoad = 0.35
-	// fleetVictimLoad drives the victim service hard enough that its
-	// signature stands out of the background on its critical resources.
-	fleetVictimLoad = 0.9
-	// fleetSenders is the attacker's launch budget per strategy run.
-	fleetSenders = 8
-	// fleetProbeWindow is how many fleet ticks each launch wave probes
-	// before the attacker judges its senders.
-	fleetProbeWindow = 16
-	// fleetProbeThreshold is the mean two-resource pressure score above
-	// which a sender declares its host victim-like. Calibrated between the
-	// background-only host scores (two uncore resources at ~0.35 load) and
-	// a victim host's (the victim alone adds ~0.9 × its top-two base).
-	fleetProbeThreshold = 110.0
-)
+// fleetSizes returns the fleet-size ladder the fleet-scale experiments
+// sweep, honouring the -fleet override.
+func fleetSizes() []int {
+	if n := FleetServers(); n > 0 {
+		return []int{n}
+	}
+	return []int{64, 256}
+}
 
 // FleetExp sweeps scheduler-guided co-location attacks across fleet size ×
 // scheduler policy × launch strategy, on the sharded fleet-tick engine.
 //
-// The attack follows Repttack's observation that placement policy, not
-// placement luck, decides co-residency: an adversary launches probe VMs
-// either in one bulk wave or one-at-a-time (trickling, deleting misses
-// between waves — the launch strategies of the placement-vulnerability
-// literature), and under the affinity scheduler the senders carry an
-// affinity request naming the victim's deployment label, steering the
-// scheduler itself onto the victim's hosts. Each wave then probes for
-// fleetProbeWindow fleet ticks: every server's monitor samples the
-// victim class's two strongest uncore resources from the observation
-// plane, and senders whose host's mean score crosses the threshold become
-// co-residency candidates. Ground truth (via Cluster.HostOf) scores the
-// candidates into co-residency probability and precision.
+// The campaign mechanics (Repttack-style launch strategies, affinity
+// steering, uncore probe scoring) live in internal/attack; this experiment
+// runs the undefended baseline — attack.Hooks zero value — against the
+// schedulers of the placement-vulnerability literature. The defencesweep
+// experiment runs the same campaigns against the secure placement
+// policies.
 func FleetExp(seed uint64) *Report {
 	rep := newReport("fleet", "Fleet-scale scheduler-guided co-location (launch-strategy sweep)")
 	rng := stats.NewRNG(seed ^ 0xf1ee7)
 
-	sizes := []int{64, 256}
-	if n := FleetServers(); n > 0 {
-		sizes = []int{n}
-	}
-
 	tb := trace.NewTable("Launch-strategy sweep: fleet size × scheduler × launch strategy",
 		"Servers", "VMs", "Scheduler", "Strategy", "Co-res P", "Candidates", "Precision", "Probe ticks")
 
-	for _, size := range sizes {
+	for _, size := range fleetSizes() {
 		for _, mkSched := range []func() cluster.Scheduler{
 			func() cluster.Scheduler { return cluster.LeastLoaded{} },
 			func() cluster.Scheduler { return cluster.Quasar{} },
@@ -90,7 +63,8 @@ func FleetExp(seed uint64) *Report {
 		} {
 			for _, trickle := range []bool{false, true} {
 				sched := mkSched() // fresh per run: Affinity accumulates labels
-				out := runFleetAttack(rng.Split(), size, sched, trickle)
+				c := attack.NewCampaign(rng.Split(), size, sched, trickle)
+				out := c.Run(attack.Hooks{})
 				strategy := "bulk"
 				if trickle {
 					strategy = "trickle"
@@ -117,189 +91,4 @@ func FleetExp(seed uint64) *Report {
 		"affinity rows reproduce Repttack's finding: a scheduler that honours co-location hints hands the attacker placement; load-balancing schedulers leave co-residency to launch volume and churn",
 		"probe scores are read from the sharded fleet-tick engine; the report is byte-identical at every -shardworkers level")
 	return rep
-}
-
-// fleetOutcome is one (size, scheduler, strategy) cell of the sweep.
-type fleetOutcome struct {
-	VMs        int     // fleet VM population at the end of the run
-	CoResP     float64 // fraction of launches that landed co-resident with a victim
-	Candidates int     // senders whose probe score crossed the threshold
-	Precision  float64 // candidates that truly were co-resident
-	ProbeTicks int     // total sender-ticks spent probing
-}
-
-// runFleetAttack builds a fleet of the given size under the scheduler,
-// seeds victims, and runs one launch-strategy attack over the sharded
-// fleet-tick engine.
-func runFleetAttack(rng *stats.RNG, servers int, sched cluster.Scheduler, trickle bool) fleetOutcome {
-	cl := cluster.New(servers, sim.ServerConfig{}, sched)
-	aff, _ := sched.(*cluster.Affinity)
-
-	// Background tenants predate the attack, so they are placed directly
-	// rather than through the scheduler under test.
-	mk := []func(*stats.RNG, int) workload.Spec{
-		workload.Memcached, workload.Hadoop, workload.Spark, workload.Webserver,
-	}
-	live := make([][]string, servers) // per-server live background VM ids
-	nextBG := 0
-	addBackground := func(i int) {
-		spec := mk[nextBG%len(mk)](rng.Split(), nextBG)
-		app := workload.NewApp(spec, workload.Constant{Level: fleetBackgroundLoad}, rng.Uint64())
-		id := fmt.Sprintf("bg-%d", nextBG)
-		vm := &sim.VM{ID: id, VCPUs: 1 + nextBG%3, App: app}
-		nextBG++
-		if err := cl.Servers[i].Place(vm); err != nil {
-			return // host full: the tenant's launch fails, as in production
-		}
-		live[i] = append(live[i], id)
-	}
-	for i := range cl.Servers {
-		for j := 0; j < fleetBackgroundVMs; j++ {
-			addBackground(i)
-		}
-	}
-
-	// Victims: one labelled SQL service instance per 64 servers, placed
-	// through the scheduler (the victim is an ordinary tenant).
-	vspec := workload.SQLDatabase(rng.Split(), 2) // mysql:olap — disk-dominant signature
-	vspec.Jitter = 0
-	nv := servers / 64
-	if nv < 1 {
-		nv = 1
-	}
-	victims := make([]string, nv)
-	for i := range victims {
-		id := fmt.Sprintf("victim-%d", i)
-		app := workload.NewApp(vspec, workload.Constant{Level: fleetVictimLoad}, rng.Uint64())
-		if aff != nil {
-			aff.Label(id, "svc=db")
-		}
-		if _, err := cl.Place(&sim.VM{ID: id, VCPUs: 4, App: app}, 0); err != nil {
-			panic(err)
-		}
-		victims[i] = id
-	}
-	hostHasVictim := func(s *sim.Server) bool {
-		for _, vid := range victims {
-			if cl.HostOf(vid) == s {
-				return true
-			}
-		}
-		return false
-	}
-
-	// The probe signal: the victim class's two strongest uncore resources
-	// (core resources are invisible without sharing a physical core).
-	r1, r2 := victimUncoreSignature(vspec.Base)
-
-	engine := fleet.NewEngine(cl, rng.Split())
-	scores := make([]float64, servers)
-	monitor := func(w *fleet.World) {
-		p := w.Server.ObservedPressure(nil, r1, w.Tick) +
-			w.Server.ObservedPressure(nil, r2, w.Tick)
-		p += (w.RNG.Float64() - 0.5) * 4 // per-sample sensor noise
-		scores[w.Index] += p
-	}
-	idx := make(map[*sim.Server]int, servers)
-	for i, s := range cl.Servers {
-		idx[s] = i
-	}
-
-	probeSpec := workload.Spec{Label: "probe:sender", Class: "probe"} // zero demand
-	waves, perWave := 1, fleetSenders
-	if trickle {
-		waves, perWave = fleetSenders, 1
-	}
-
-	var out fleetOutcome
-	var lastStats fleet.Stats
-	t := sim.Tick(0)
-	launches, coRes, trueCands := 0, 0, 0
-	liveSenders := 0
-	nextSender := 0
-	for wave := 0; wave < waves; wave++ {
-		if wave > 0 {
-			// Background churn between waves: tenants leave and arrive,
-			// shifting the free-capacity landscape a relaunch explores.
-			moves := 1 + servers/32
-			for m := 0; m < moves; m++ {
-				src := rng.Intn(servers)
-				if n := len(live[src]); n > 2 {
-					cl.Servers[src].Remove(live[src][n-1])
-					live[src] = live[src][:n-1]
-				}
-				addBackground(rng.Intn(servers))
-			}
-		}
-
-		// Launch this wave's senders through the scheduler under test.
-		type senderRec struct {
-			id   string
-			host *sim.Server
-		}
-		var placed []senderRec
-		for k := 0; k < perWave; k++ {
-			id := fmt.Sprintf("sender-%d", nextSender)
-			nextSender++
-			app := workload.NewApp(probeSpec, workload.Constant{Level: 0}, rng.Uint64())
-			vm := &sim.VM{ID: id, VCPUs: 1, App: app}
-			if aff != nil {
-				aff.Want(id, "svc=db")
-			}
-			launches++
-			host, err := cl.Place(vm, t)
-			if err != nil {
-				continue // cluster full: a wasted launch, as in a real attack
-			}
-			placed = append(placed, senderRec{id, host})
-			if hostHasVictim(host) {
-				coRes++
-			}
-		}
-		liveSenders += len(placed)
-
-		// Probe window: the whole fleet ticks on the sharded engine.
-		for i := range scores {
-			scores[i] = 0
-		}
-		for w := 0; w < fleetProbeWindow; w++ {
-			_, lastStats = engine.Tick(t, monitor)
-			t++
-		}
-		out.ProbeTicks += fleetProbeWindow * liveSenders
-
-		// Judge this wave's senders; trickling deletes the misses so the
-		// next wave's launch budget is not squandered on known-bad hosts.
-		for _, rec := range placed {
-			mean := scores[idx[rec.host]] / fleetProbeWindow
-			if mean >= fleetProbeThreshold {
-				out.Candidates++
-				if hostHasVictim(rec.host) {
-					trueCands++
-				}
-			} else if trickle {
-				rec.host.Remove(rec.id)
-				liveSenders--
-			}
-		}
-	}
-
-	out.VMs = lastStats.VMs
-	out.CoResP = float64(coRes) / float64(launches)
-	if out.Candidates > 0 {
-		out.Precision = float64(trueCands) / float64(out.Candidates)
-	}
-	return out
-}
-
-// victimUncoreSignature returns the two strongest host-wide-visible
-// resources of a victim profile — the signature a probe without core
-// co-residency can still read.
-func victimUncoreSignature(base sim.Vector) (sim.Resource, sim.Resource) {
-	masked := base
-	for _, r := range sim.CoreResources() {
-		masked.Set(r, 0)
-	}
-	top := masked.TopK(2)
-	return top[0], top[1]
 }

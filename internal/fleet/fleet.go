@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"bolt/internal/cluster"
+	"bolt/internal/defence"
 	"bolt/internal/par"
 	"bolt/internal/sim"
 	"bolt/internal/stats"
@@ -70,6 +71,11 @@ type Event struct {
 	Kind   int     // caller-defined discriminator
 	Value  float64 // caller-defined payload
 }
+
+// MonitorAlarm is the Kind of events the engine itself emits when a
+// server's attached defence monitor fires (see SetMonitor). It is negative
+// so caller-defined kinds (conventionally non-negative) never collide.
+const MonitorAlarm = -1
 
 // World is the view a tick body gets of one server: the server itself, the
 // tick being advanced, and the server's own pre-split RNG stream. A body
@@ -114,6 +120,13 @@ type Engine struct {
 	cl   *cluster.Cluster
 	rngs []*stats.RNG
 
+	// monitors[i], when non-nil, is server i's defence monitor: sampled
+	// once per tick inside the server's own shard (after the tick body),
+	// with alarm edges surfacing as MonitorAlarm events at the barrier.
+	// Like all per-server state, a monitor is touched only by the shard
+	// that owns its server, so sharded ticking stays deterministic.
+	monitors []*defence.Monitor
+
 	// Per-server slots written inside a tick, merged at the barrier.
 	// Reused across ticks so a steady-state tick allocates nothing.
 	events [][]Event
@@ -146,6 +159,26 @@ func (e *Engine) Servers() int { return len(e.rngs) }
 // tick bodies will draw from.
 func (e *Engine) RNG(i int) *stats.RNG { return e.rngs[i] }
 
+// SetMonitor attaches a defence monitor to server i (nil detaches). The
+// engine feeds it the server's aggregate usage every tick; the tick on
+// which its detector first fires is reported once as a MonitorAlarm event
+// (Value carries the tick), after which the defence layer typically acts
+// and calls Monitor.Reset to re-arm it.
+func (e *Engine) SetMonitor(i int, m *defence.Monitor) {
+	if e.monitors == nil {
+		e.monitors = make([]*defence.Monitor, len(e.rngs))
+	}
+	e.monitors[i] = m
+}
+
+// Monitor returns server i's attached monitor, or nil.
+func (e *Engine) Monitor(i int) *defence.Monitor {
+	if e.monitors == nil {
+		return nil
+	}
+	return e.monitors[i]
+}
+
 // Tick advances every server through tick t: each shard's servers run fn
 // (which may be nil) and have their occupancy and utilisation sampled, all
 // shards concurrently; then the barrier merges per-server events in
@@ -172,6 +205,14 @@ func (e *Engine) Tick(t sim.Tick, fn TickFunc) ([]Event, Stats) {
 				if fn != nil {
 					w = World{Index: i, Server: s, Tick: t, RNG: e.rngs[i], events: &e.events[i]}
 					fn(&w)
+				}
+				// The defence monitor samples after the body, appending its
+				// alarm edge after the body's own events for this server —
+				// a fixed order, so the merged stream stays deterministic.
+				if e.monitors != nil {
+					if m := e.monitors[i]; m.Sample(s, t) {
+						e.events[i] = append(e.events[i], Event{Server: i, Kind: MonitorAlarm, Value: float64(t)})
+					}
 				}
 				// Sampling utilisation last means it rides the observation
 				// snapshot the body's queries already built.

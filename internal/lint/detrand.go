@@ -20,6 +20,8 @@ var deterministicPkgs = []string{
 	"bolt/internal/fleet",
 	"bolt/internal/par",
 	"bolt/internal/cluster",
+	"bolt/internal/defence",
+	"bolt/internal/attack",
 	"bolt/internal/serve",
 	// The serving-plane commands carry the same contract as the libraries
 	// they drive: boltd answers must be bit-exact against the solo
